@@ -1,0 +1,16 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures, prints
+it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+rendered output), and asserts the paper's qualitative claims on the
+result -- who wins, by roughly what factor, where the crossovers fall.
+"""
+
+
+def emit(result) -> None:
+    """Print a rendered experiment underneath the benchmark timings."""
+    print()
+    print("=" * 72)
+    print(result.title)
+    print("=" * 72)
+    print(result.rendered)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 1 / section 3.3 (routing oscillation)."""
+
+from conftest import emit
+
+from repro.experiments import fig1
+
+
+def test_bench_fig1(benchmark):
+    result = benchmark.pedantic(
+        fig1.run, kwargs={"fast": False}, rounds=1, iterations=1
+    )
+    emit(result)
+    runs = result.data["runs"]
+    dspf, hnspf = runs["D-SPF"], runs["HN-SPF"]
+    # D-SPF's bridges alternate: near-full swing on bridge A.
+    assert dspf["spread_a"] > 0.5
+    # HN-SPF's amplitude is bounded: smaller swing, smaller A/B gap.
+    assert hnspf["spread_a"] < dspf["spread_a"]
+    assert hnspf["mean_gap"] < dspf["mean_gap"]
+    # Stability buys user-visible performance on identical traffic.
+    assert hnspf["report"].round_trip_delay_ms < \
+        dspf["report"].round_trip_delay_ms
+    assert hnspf["report"].congestion_drops <= \
+        dspf["report"].congestion_drops

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 10 (equilibrium utilization vs load)."""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark):
+    result = benchmark(fig10.run, fast=False)
+    emit(result)
+    curves = {name: dict(points)
+              for name, points in result.data["curves"].items()}
+    loads = result.data["loads"]
+    for load in loads:
+        ideal = curves["Ideal"][load]
+        # Min-hop is not traffic sensitive: it rides the ideal line (and
+        # is oversubscribed past 100%).
+        assert curves["Min-Hop"][load] == pytest.approx(ideal, abs=0.01)
+        # Everything is bounded by ideal; HN-SPF >= D-SPF everywhere.
+        assert curves["D-SPF"][load] <= ideal + 1e-9
+        assert curves["HN-SPF"][load] >= curves["D-SPF"][load] - 1e-9
+    # HN-SPF acts like min-hop until ~50% utilization...
+    assert curves["HN-SPF"][0.5] == pytest.approx(0.5, abs=0.02)
+    # ...then sheds, but sustains much higher utilization than D-SPF.
+    heavy = max(loads)
+    assert curves["HN-SPF"][heavy] > curves["D-SPF"][heavy] + 0.1
+    assert curves["D-SPF"][0.5] < 0.45  # D-SPF sheds even at light load

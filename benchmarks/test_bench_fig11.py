@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 11 (D-SPF dynamic behaviour)."""
+
+from conftest import emit
+
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark):
+    result = benchmark(fig11.run, fast=False)
+    emit(result)
+    near, far = result.data["near"], result.data["far"]
+    # Meta-stable: converges from near the equilibrium...
+    assert near.converged(tolerance=0.5)
+    # ...but a distant start diverges into unbounded oscillation...
+    assert far.amplitude() > 10.0
+    # ...swinging the link between oversubscribed and idle.
+    tail = far.utilizations[-10:]
+    assert min(tail) < 0.05
+    assert max(tail) > 0.95

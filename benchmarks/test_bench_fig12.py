@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 12 (HN-SPF dynamic behaviour)."""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import fig12
+
+
+def test_bench_fig12(benchmark):
+    result = benchmark(fig12.run, fast=False)
+    emit(result)
+    easing, from_min = result.data["easing"], result.data["from_min"]
+    # A new link is eased in from its maximum cost (3 hops)...
+    assert easing.reported_hops[0] == pytest.approx(3.0)
+    # ...descending gradually (never more than max_down per period)...
+    early = easing.reported_hops[:4]
+    assert early == sorted(early, reverse=True)
+    # ...to a bounded hover around the equilibrium.
+    assert easing.converged(tolerance=0.5)
+    assert from_min.converged(tolerance=0.5)
+    # Both starts end at the same equilibrium neighbourhood.
+    assert easing.mean_tail() == pytest.approx(from_min.mean_tail(),
+                                               abs=0.25)

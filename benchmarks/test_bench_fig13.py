@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 13 (dropped packets, before/after HNM)."""
+
+from conftest import emit
+
+from repro.experiments import fig13
+
+
+def test_bench_fig13(benchmark):
+    result = benchmark.pedantic(
+        fig13.run, kwargs={"fast": False}, rounds=1, iterations=1
+    )
+    emit(result)
+    # Sharp fall in dropped packets at the switch, despite traffic
+    # growing every day of the series (paper: a dramatic sustained drop).
+    assert result.data["after_mean"] < 0.5 * result.data["before_mean"]
+    series = result.data["series"]
+    switch = result.data["switch_day"]
+    worst_after = max(d for day, d, _m in series if day >= switch)
+    best_before = min(d for day, d, _m in series if day < switch)
+    # The distributions barely overlap: HNM days beat every D-SPF day.
+    assert worst_after < best_before * 1.1

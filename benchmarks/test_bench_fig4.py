@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4 (normalized metric comparison)."""
+
+from conftest import emit
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark):
+    result = benchmark(fig4.run, fast=False)
+    emit(result)
+    # D-SPF's curve is far steeper than HN-SPF's at high utilization.
+    assert result.data["dspf_at_095"] > 4 * result.data["hnspf_at_095"]
+    # HN-SPF is capped at 3x idle; D-SPF runs away.
+    assert result.data["hnspf_at_095"] <= 3.0
+    assert result.data["dspf_at_095"] > 10.0
+    # Satellite sits above terrestrial at low load, converges at high.
+    sat = dict(result.data["curves"]["HN-SPF satellite"])
+    ter = dict(result.data["curves"]["HN-SPF terrestrial"])
+    assert sat[0.0] == 2 * ter[0.0]
+    grid = result.data["grid"]
+    assert sat[grid[-1]] - ter[grid[-1]] < 0.2

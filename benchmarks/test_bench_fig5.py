@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 5 (HN-SPF absolute bounds)."""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5(benchmark):
+    result = benchmark(fig5.run, fast=False)
+    emit(result)
+    idle, full = result.data["idle"], result.data["full"]
+    # Idle ordering: 56K-T < 56K-S < 9.6K-T < 9.6K-S.
+    assert idle["56K-T"] < idle["56K-S"] < idle["9.6K-T"] < idle["9.6K-S"]
+    # Satellite idles at twice terrestrial, equal when saturated.
+    assert idle["56K-S"] == 2 * idle["56K-T"]
+    assert full["56K-S"] == pytest.approx(full["56K-T"], rel=0.05)
+    # A full 9.6 kb/s line ~7x an idle 56 kb/s line (vs ~127x for D-SPF).
+    assert full["9.6K-T"] / idle["56K-T"] == pytest.approx(7.0, abs=0.5)
+    # Max ~ 3x the zero-propagation-delay minimum of the speed class.
+    assert full["56K-T"] == pytest.approx(3 * idle["56K-T"], rel=0.05)
+    assert full["9.6K-S"] == pytest.approx(3 * idle["9.6K-T"], rel=0.05)

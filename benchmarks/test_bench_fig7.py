@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 7 (cost needed to shed routes)."""
+
+from conftest import emit
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark):
+    result = benchmark(fig7.run, fast=False)
+    emit(result)
+    # "The average reported cost needed to shed all routes is four hops."
+    assert 3.0 <= result.data["mean_shed_everything"] <= 6.0
+    # "The maximum reported cost needed to shed (a 1-hop) route is eight
+    # hops" -- ours lands at the same order.
+    assert 6 <= result.data["one_hop_max"] <= 10
+    # Long routes have alternates only slightly longer: the shed-all cost
+    # declines with route length.
+    stats = result.data["stats"]
+    lengths = stats.lengths()
+    assert stats.shed_all_mean(lengths[0]) > stats.shed_all_mean(lengths[-1])
+    # HN-SPF's 3-hop cap cannot shed the average link's last route.
+    assert result.data["mean_shed_everything"] > 3.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 8 (Network Response Map)."""
+
+from conftest import emit
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark):
+    result = benchmark(fig8.run, fast=False)
+    emit(result)
+    # "If the link reports a cost of 4, then over 90% of its base
+    # traffic will be shed."  Ours: ~89%, same order.
+    assert result.data["shed_at_4"] > 0.8
+    # The epsilon problem: a tiny change across the x=1 tie boundary
+    # sheds a large slice of traffic at once.
+    assert result.data["epsilon_cliff"] > 0.25
+    # The response map is monotone decreasing.
+    rmap = result.data["response_map"]
+    values = rmap.normalized_traffic
+    assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 9 (equilibrium calculation)."""
+
+from conftest import emit
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark):
+    result = benchmark(fig9.run, fast=False)
+    emit(result)
+    points = result.data["points"]
+    for load, by_metric in points.items():
+        hn, d = by_metric["HN-SPF"], by_metric["D-SPF"]
+        # HN-SPF's equilibrium "allows more traffic on the link than that
+        # of D-SPF, especially under conditions of overload".
+        assert hn.utilization >= d.utilization - 1e-9, load
+        # HN-SPF's cost can never exceed its 3-hop cap.
+        assert hn.reported_cost_hops <= 3.0 + 1e-9
+    heavy = max(points)
+    assert points[heavy]["HN-SPF"].utilization > \
+        points[heavy]["D-SPF"].utilization

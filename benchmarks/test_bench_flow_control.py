@@ -1,0 +1,27 @@
+"""Extension benchmark: end-to-end flow control contains congestion.
+
+Section 3.3 lists among D-SPF's harms that *"the over-utilization of
+subnet links can lead to the spread of congestion within the network"*.
+The ARPANET's other defence was the RFNM message window; this benchmark
+overloads one flow through a shared corridor and measures what happens
+to an innocent bystander flow, with and without the window.
+"""
+
+from conftest import emit
+
+from repro.experiments import flowcontrol
+
+
+def test_bench_flow_control(benchmark):
+    result = benchmark.pedantic(
+        flowcontrol.run, kwargs={"fast": False}, rounds=1, iterations=1
+    )
+    emit(result)
+    open_loop = result.data["None"]["report"]
+    windowed = result.data["8"]["report"]
+    # The window keeps the subnet loss-free and fast; the overload is
+    # absorbed as host backlog instead of in-network queues and drops.
+    assert windowed.congestion_drops == 0
+    assert open_loop.congestion_drops > 1000
+    assert windowed.delay_p99_ms < 0.6 * open_loop.delay_p99_ms
+    assert result.data["8"]["backlog"] > 1000

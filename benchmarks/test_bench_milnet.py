@@ -1,0 +1,24 @@
+"""Extension benchmark: the metric on a MILNET-like network.
+
+The paper: *"(the metric) has been successfully deployed in several
+major networks, including the MILNET"*, whose defining trait is
+heterogeneous trunking with *different link bandwidths*.  Replays the
+before/after comparison on the MILNET-like topology.
+"""
+
+from conftest import emit
+
+from repro.experiments import milnet
+
+
+def test_bench_milnet(benchmark):
+    result = benchmark.pedantic(
+        milnet.run, kwargs={"fast": False}, rounds=1, iterations=1
+    )
+    emit(result)
+    dspf, hnspf = result.data["D-SPF"], result.data["HN-SPF"]
+    assert hnspf.internode_traffic_kbps > dspf.internode_traffic_kbps
+    assert hnspf.round_trip_delay_ms < dspf.round_trip_delay_ms
+    assert hnspf.congestion_drops < 0.25 * dspf.congestion_drops
+    assert hnspf.path_ratio < dspf.path_ratio
+    assert hnspf.delivery_ratio > 0.97

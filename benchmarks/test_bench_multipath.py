@@ -1,0 +1,29 @@
+"""Extension benchmark: multipath routing for few-large-flows traffic.
+
+Paper section 4.5: *"single path routing algorithms are fairly
+ineffective"* when a few large flows dominate, and load-sharing them
+*"would require a multi-path routing algorithm"*.  This benchmark builds
+that algorithm (equal-cost multipath) and confirms the diagnosis.
+"""
+
+from conftest import emit
+
+from repro.experiments import multipath
+
+
+def test_bench_multipath(benchmark):
+    result = benchmark.pedantic(
+        multipath.run, kwargs={"fast": False}, rounds=1, iterations=1
+    )
+    emit(result)
+    single = result.data["None"]
+    per_flow = result.data["flow"]
+    per_packet = result.data["packet"]
+    # Single-path: one 56 kb/s path carries what it can (~60%).
+    assert single.delivery_ratio < 0.7
+    # Per-flow hashing cannot split ONE flow: same story.
+    assert per_flow.delivery_ratio < 0.7
+    # Per-packet ECMP shares both paths: nearly everything arrives.
+    assert per_packet.delivery_ratio > 0.95
+    assert per_packet.internode_traffic_kbps > \
+        1.5 * single.internode_traffic_kbps

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Capacity planning with the fluid model: how much load can routing absorb?
+
+The paper's operational framing: *"HN-SPF is the safety net that
+compensates for bad network designs and unexpected changes in traffic
+patterns ... it can automatically handle variations in traffic that are
+several times the designed traffic level."*  This example sweeps the
+offered load on the ARPANET-like topology through the fluid model (no
+packets: seconds, not minutes), reports when each metric's network stops
+settling, and exports the sweep as CSV for plotting.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis import FluidNetworkModel
+from repro.metrics import DelayMetric, HopNormalizedMetric
+from repro.report import ascii_table
+from repro.report.export import write_series_csv
+from repro.topology import build_arpanet_1987
+from repro.topology.arpanet import site_weights
+from repro.traffic import TrafficMatrix
+
+BASE_LOAD_BPS = 366_000.0  # the paper's May 1987 peak hour
+SCALES = (0.5, 1.0, 1.5, 2.0, 3.0)
+
+
+def main() -> None:
+    rows = []
+    overload_series = {"D-SPF": [], "HN-SPF": []}
+    for scale in SCALES:
+        for metric_cls in (DelayMetric, HopNormalizedMetric):
+            network = build_arpanet_1987()
+            traffic = TrafficMatrix.gravity(
+                network, BASE_LOAD_BPS * scale, weights=site_weights()
+            )
+            model = FluidNetworkModel(network, metric_cls(), traffic)
+            trace = model.run(rounds=40)
+            name = metric_cls().name
+            rows.append((
+                f"{scale:.1f}x",
+                name,
+                trace.tail_mean_utilization(),
+                trace.tail_churn(),
+                trace.tail_overload() / 1000.0,
+                "yes" if trace.settled(churn_tolerance=0.1) else "NO",
+            ))
+            overload_series[name].append(
+                (scale, trace.tail_overload() / 1000.0)
+            )
+
+    print(ascii_table(
+        ["offered load", "metric", "mean util", "cost churn",
+         "overload (kb/s)", "settled?"],
+        rows,
+        title="Fluid sweep of the ARPANET-like network "
+              "(40 routing periods each)",
+    ))
+
+    path = write_series_csv(
+        "capacity_sweep.csv", overload_series, x_label="load_scale"
+    )
+    print(f"\noverload-vs-load series written to {path} "
+          f"(plot it with your tool of choice)")
+    print(
+        "\nReading: D-SPF never settles at or past the design load and\n"
+        "strands hundreds of kb/s on saturated links; HN-SPF stays\n"
+        "settled at the design point and degrades gracefully at\n"
+        "multiples of it -- the paper's 'safety net'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Link failure, recovery, and the ease-in of a returning line.
+
+Drops the MIT-BBN circuit of the ARPANET-like topology mid-run, watches
+routing flow around it, restores it, and shows HN-SPF easing the line
+back into service from its maximum cost -- *"routing will converge to its
+equilibrium slowly by pulling in a little more traffic with each routing
+period"*.
+
+Run:  python examples/link_failure_recovery.py
+"""
+
+from repro.metrics import HopNormalizedMetric
+from repro.sim import NetworkSimulation, ScenarioConfig
+from repro.topology import build_arpanet_1987
+from repro.topology.arpanet import site_weights
+from repro.traffic import TrafficMatrix
+
+
+def main() -> None:
+    network = build_arpanet_1987()
+    mit = network.node_by_name("MIT").node_id
+    bbn = network.node_by_name("BBN").node_id
+    circuit = network.links_between(mit, bbn)[0]
+
+    traffic = TrafficMatrix.gravity(
+        network, 250_000.0, weights=site_weights()
+    )
+    simulation = NetworkSimulation(
+        network, HopNormalizedMetric(), traffic,
+        ScenarioConfig(duration_s=400.0, warmup_s=50.0, seed=7),
+    )
+    simulation.fail_circuit_at(circuit.link_id, at_s=120.0)
+    simulation.restore_circuit_at(circuit.link_id, at_s=220.0)
+    report = simulation.run()
+
+    print(f"MIT->BBN circuit (link {circuit.link_id}, "
+          f"{circuit.line_type}) failed at t=120s, restored at t=220s\n")
+    from repro.metrics import DEFAULT_HNSPF_PARAMS
+
+    max_cost = DEFAULT_HNSPF_PARAMS[circuit.line_type.name].max_cost
+    print("advertised cost timeline:")
+    recovered = False
+    for t, cost in simulation.stats.cost_series(circuit.link_id):
+        tag = ""
+        if cost >= 2 ** 20:
+            tag = "   <- DOWN advertisement"
+            recovered = False
+        elif t >= 220.0 and not recovered and cost == max_cost:
+            tag = "   <- ease-in from max cost"
+            recovered = True
+        print(f"  t={t:6.1f}s  cost={min(cost, 999999):>7d}{tag}")
+
+    print("\nutilization of the circuit (10 s intervals):")
+    for t, u in simulation.stats.utilization_history[circuit.link_id]:
+        phase = "down" if 120.0 <= t < 220.0 else "up"
+        print(f"  t={t:6.1f}s  {u:5.2f}  ({phase})")
+
+    print(f"\noverall delivery ratio: {report.delivery_ratio:.3f} "
+          f"(traffic rides alternate paths while the circuit is down)")
+
+
+if __name__ == "__main__":
+    main()

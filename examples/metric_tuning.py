@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Tailoring HN-SPF parameters to a custom network.
+
+The paper: *"We designed the HN-SPF module so that these values would be
+easy to change, and envisioned that parameter sets would be tailored to
+the needs of individual networks."*  This example tunes the metric for a
+small high-load hub-and-spoke network where the operator wants links to
+start shedding at 30% utilization instead of 50%, and compares the
+equilibrium behaviour of the stock and tuned parameter sets.
+
+Run:  python examples/metric_tuning.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis import (
+    build_response_map,
+    equilibrium_utilization_curve,
+    reference_link,
+)
+from repro.metrics import DEFAULT_HNSPF_PARAMS, HopNormalizedMetric
+from repro.report import ascii_table
+from repro.topology import build_grid_network
+from repro.traffic import TrafficMatrix
+
+
+def main() -> None:
+    # The operator's network: a 3x3 grid of 56 kb/s lines.
+    network = build_grid_network(3, 3)
+    traffic = TrafficMatrix.uniform(network, total_bps=200_000.0)
+    response = build_response_map(network, traffic)
+    link = reference_link("56K-T", propagation_s=0.001)
+
+    stock = HopNormalizedMetric()
+    # Tuned: shed earlier (30% knee) and allow a slightly wider range
+    # (max 120 = +3 hops) for this topology's longer detours.
+    tuned_params = replace(
+        DEFAULT_HNSPF_PARAMS["56K-T"],
+        utilization_threshold=0.3,
+        max_cost=120,
+    )
+    tuned = HopNormalizedMetric(params={"56K-T": tuned_params})
+
+    loads = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0]
+    stock_curve = equilibrium_utilization_curve(stock, link, response, loads)
+    tuned_curve = equilibrium_utilization_curve(tuned, link, response, loads)
+
+    print(ascii_table(
+        ["offered load", "stock (50% knee) util", "tuned (30% knee) util"],
+        [
+            (f"{load:.2f}", s.utilization, t.utilization)
+            for load, s, t in zip(loads, stock_curve, tuned_curve)
+        ],
+        title="Equilibrium utilization on a 3x3 grid",
+    ))
+    print(
+        "\nThe tuned metric diverts traffic earlier: lower equilibrium\n"
+        "utilization at moderate loads (more headroom for bursts), at\n"
+        "the price of longer paths.  Every constant lives in a\n"
+        "per-line-type HnspfParams dataclass -- nothing else changes."
+    )
+
+
+if __name__ == "__main__":
+    main()

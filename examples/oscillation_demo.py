@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The Figure-1 experiment: watch D-SPF oscillate, then HN-SPF stabilize.
+
+Two regions are joined by two identical 56 kb/s bridges, A and B, and
+offered heavy inter-region traffic.  Under the old delay metric all
+traffic stampedes from one bridge to the other every routing period;
+under the revised metric the two bridges share the load with bounded
+swings.  The script prints the bridge utilization timeline side by side.
+
+Run:  python examples/oscillation_demo.py
+"""
+
+import statistics
+
+from repro.metrics import DelayMetric, HopNormalizedMetric
+from repro.sim import NetworkSimulation, ScenarioConfig
+from repro.topology import build_two_region_network
+from repro.traffic import TrafficMatrix
+
+
+def bar(value: float, width: int = 20) -> str:
+    filled = int(round(value * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def run_metric(metric):
+    built = build_two_region_network(nodes_per_region=4)
+    traffic = TrafficMatrix.two_region(
+        built.west_ids, built.east_ids, inter_region_bps=90_000.0
+    )
+    simulation = NetworkSimulation(
+        built.network, metric, traffic,
+        ScenarioConfig(duration_s=400.0, warmup_s=100.0, seed=1),
+    )
+    report = simulation.run()
+    series = {}
+    for name, (forward, _back) in (("A", built.bridge_a),
+                                   ("B", built.bridge_b)):
+        series[name] = [
+            v for t, v in
+            simulation.stats.utilization_history[forward.link_id]
+            if t >= 100.0
+        ]
+    return report, series
+
+
+def main() -> None:
+    for metric in (DelayMetric(), HopNormalizedMetric()):
+        report, series = run_metric(metric)
+        print(f"\n=== {metric.name} ===")
+        print("interval   bridge A               bridge B")
+        for i, (a, b) in enumerate(zip(series["A"], series["B"])):
+            print(f"  t+{10 * i:4d}s  {bar(a)} {a:4.2f}   {bar(b)} {b:4.2f}")
+            if i >= 19:
+                break
+        gap = statistics.mean(
+            abs(a - b) for a, b in zip(series["A"], series["B"])
+        )
+        print(f"round-trip delay {report.round_trip_delay_ms:6.1f} ms | "
+              f"drops {report.congestion_drops:4d} | "
+              f"mean |A-B| utilization gap {gap:.2f}")
+    print("\nD-SPF: the bars alternate (one bridge overloaded, the other "
+          "idle).\nHN-SPF: both bridges stay loaded; swings are bounded "
+          "by the movement limits.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This environment has no ``wheel`` package, so modern ``pip install -e .``
+cannot build the editable wheel.  ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` once wheel is available) installs
+the package from ``pyproject.toml`` metadata.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Reproduction of "The Revised ARPANET Routing Metric" (SIGCOMM 1989).
+
+Khanna & Zinky's revised (hop-normalized) link metric replaced the
+ARPANET's delay metric in July 1987, fixing routing oscillation under
+heavy load without touching the SPF route computation.  This library
+rebuilds the whole stack in Python:
+
+* :mod:`repro.des` -- a discrete-event simulation kernel,
+* :mod:`repro.topology` -- PSNs, simplex links, line types, and an
+  ARPANET-1987-like topology,
+* :mod:`repro.metrics` -- D-SPF (delay), HN-SPF (revised), min-hop,
+* :mod:`repro.routing` -- incremental SPF, update flooding, and the 1969
+  distributed Bellman-Ford baseline,
+* :mod:`repro.psn` / :mod:`repro.sim` -- packet-level simulation of the
+  full network,
+* :mod:`repro.traffic` -- traffic matrices and Poisson sources,
+* :mod:`repro.analysis` -- the paper's section-5 equilibrium model,
+* :mod:`repro.experiments` -- one runnable module per table/figure.
+
+Quickstart::
+
+    from repro.metrics import HopNormalizedMetric
+    from repro.sim import NetworkSimulation, ScenarioConfig
+    from repro.topology import build_arpanet_1987
+    from repro.topology.arpanet import site_weights
+    from repro.traffic import TrafficMatrix
+
+    net = build_arpanet_1987()
+    traffic = TrafficMatrix.gravity(net, 366_000.0,
+                                    weights=site_weights())
+    sim = NetworkSimulation(net, HopNormalizedMetric(), traffic,
+                            ScenarioConfig(duration_s=300.0))
+    print(sim.run())
+"""
+
+__version__ = "1.0.0"

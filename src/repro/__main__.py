@@ -1,0 +1,228 @@
+"""Top-level command line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``topology``    describe a built-in topology (nodes, circuits, trunking)
+``simulate``    run a packet-level simulation and print the report
+``experiment``  regenerate one of the paper's tables/figures
+``fluid``       run the fluid network-wide equilibrium model
+
+Examples::
+
+    python -m repro topology arpanet
+    python -m repro simulate --topology arpanet --metric hnspf \\
+        --traffic-kbps 366 --duration 300
+    python -m repro experiment table1 --fast
+    python -m repro fluid --metric dspf --scale 1.0 --rounds 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Optional
+
+from repro.experiments import EXPERIMENT_IDS
+from repro.metrics import DelayMetric, HopNormalizedMetric, MinHopMetric
+from repro.report import ascii_table
+
+METRICS = {
+    "dspf": DelayMetric,
+    "hnspf": HopNormalizedMetric,
+    "minhop": MinHopMetric,
+}
+
+
+def _build_topology(name: str):
+    from repro.topology import build_arpanet_1987, build_milnet_1987
+    from repro.topology.arpanet import site_weights
+    from repro.topology.milnet import milnet_site_weights
+
+    if name == "arpanet":
+        return build_arpanet_1987(), site_weights()
+    if name == "milnet":
+        return build_milnet_1987(), milnet_site_weights()
+    raise SystemExit(f"unknown topology {name!r} (arpanet|milnet)")
+
+
+def cmd_topology(args) -> int:
+    from repro.topology.describe import describe_network
+
+    network, weights = _build_topology(args.name)
+    print(describe_network(network, circuits=args.circuits))
+    print("\ntotal site weight:", sum(weights.values()))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.sim import NetworkSimulation, ScenarioConfig, build_scenario
+    from repro.traffic import TrafficMatrix
+
+    config = ScenarioConfig(
+        duration_s=args.duration,
+        warmup_s=min(args.duration / 4.0, 60.0),
+        seed=args.seed,
+        multipath=args.multipath,
+    )
+    if args.scenario:
+        simulation = build_scenario(args.scenario, config=config)
+        label = args.scenario
+    else:
+        network, weights = _build_topology(args.topology)
+        metric = METRICS[args.metric]()
+        traffic = TrafficMatrix.gravity(
+            network, args.traffic_kbps * 1000.0, weights=weights
+        )
+        simulation = NetworkSimulation(network, metric, traffic, config)
+        label = args.topology
+    report = simulation.run()
+    print(ascii_table(
+        ["indicator", "value"],
+        [
+            ("metric", report.metric_name),
+            ("carried traffic (kb/s)", report.internode_traffic_kbps),
+            ("round-trip delay (ms)", report.round_trip_delay_ms),
+            ("updates / s", report.updates_per_s),
+            ("update period / node (s)", report.update_period_per_node_s),
+            ("actual path (hops)", report.actual_path_hops),
+            ("minimum path (hops)", report.minimum_path_hops),
+            ("path ratio", report.path_ratio),
+            ("congestion drops", report.congestion_drops),
+            ("delivery ratio", report.delivery_ratio),
+        ],
+        title=f"{label} under {report.metric_name}, "
+              f"{args.duration:.0f}s simulated",
+    ))
+    if args.csv:
+        from repro.report.export import write_report_csv
+
+        path = write_report_csv(args.csv, {report.metric_name: report})
+        print(f"\nreport written to {path}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    module = importlib.import_module(f"repro.experiments.{args.id}")
+    result = module.run(fast=args.fast)
+    print(result.rendered)
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.analysis import all_passed, validate_configuration
+    from repro.analysis.metric_maps import reference_link
+    from repro.traffic import TrafficMatrix
+
+    network, weights = _build_topology(args.topology)
+    traffic = TrafficMatrix.gravity(
+        network, args.traffic_kbps * 1000.0, weights=weights
+    )
+    link = reference_link("56K-T", propagation_s=0.001)
+    checks = validate_configuration(network, traffic, link)
+    for check in checks:
+        print(check)
+    ok = all_passed(checks)
+    print(f"\n{'all checks passed' if ok else 'CHECKS FAILED'}")
+    return 0 if ok else 1
+
+
+def cmd_fluid(args) -> int:
+    from repro.analysis import FluidNetworkModel
+    from repro.traffic import TrafficMatrix
+
+    network, weights = _build_topology(args.topology)
+    metric = METRICS[args.metric]()
+    traffic = TrafficMatrix.gravity(
+        network, args.traffic_kbps * 1000.0 * args.scale, weights=weights
+    )
+    model = FluidNetworkModel(network, metric, traffic)
+    trace = model.run(rounds=args.rounds)
+    print(ascii_table(
+        ["round", "mean util", "max util", "cost churn",
+         "overload (kb/s)"],
+        [
+            (r.round_index, r.mean_utilization, r.max_utilization,
+             r.churn, r.overload_bps / 1000.0)
+            for r in trace.rounds
+        ],
+        title=f"fluid model: {args.topology} / {metric.name} / "
+              f"{args.scale:.2f}x load",
+    ))
+    print(f"\nsettled: {trace.settled()} "
+          f"(tail churn {trace.tail_churn():.3f})")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="The Revised ARPANET Routing Metric -- reproduction "
+                    "toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    p_topology = commands.add_parser(
+        "topology", help="describe a built-in topology"
+    )
+    p_topology.add_argument("name", choices=("arpanet", "milnet"))
+    p_topology.add_argument("--circuits", action="store_true",
+                            help="also list every circuit")
+    p_topology.set_defaults(handler=cmd_topology)
+
+    p_simulate = commands.add_parser(
+        "simulate", help="run a packet-level simulation"
+    )
+    from repro.sim.scenarios import scenario_names
+
+    p_simulate.add_argument("--scenario", default=None,
+                            choices=scenario_names(),
+                            help="a canned paper scenario (overrides "
+                                 "--topology/--metric/--traffic-kbps)")
+    p_simulate.add_argument("--topology", default="arpanet",
+                            choices=("arpanet", "milnet"))
+    p_simulate.add_argument("--metric", default="hnspf",
+                            choices=sorted(METRICS))
+    p_simulate.add_argument("--traffic-kbps", type=float, default=366.0)
+    p_simulate.add_argument("--duration", type=float, default=300.0)
+    p_simulate.add_argument("--seed", type=int, default=0)
+    p_simulate.add_argument("--multipath", default=None,
+                            choices=("flow", "packet"))
+    p_simulate.add_argument("--csv", default=None,
+                            help="also write the report to this CSV path")
+    p_simulate.set_defaults(handler=cmd_simulate)
+
+    p_experiment = commands.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    p_experiment.add_argument("id", choices=EXPERIMENT_IDS)
+    p_experiment.add_argument("--fast", action="store_true")
+    p_experiment.set_defaults(handler=cmd_experiment)
+
+    p_validate = commands.add_parser(
+        "validate",
+        help="check the metric's qualitative properties on a topology",
+    )
+    p_validate.add_argument("--topology", default="arpanet",
+                            choices=("arpanet", "milnet"))
+    p_validate.add_argument("--traffic-kbps", type=float, default=366.0)
+    p_validate.set_defaults(handler=cmd_validate)
+
+    p_fluid = commands.add_parser(
+        "fluid", help="run the fluid network-wide equilibrium model"
+    )
+    p_fluid.add_argument("--topology", default="arpanet",
+                         choices=("arpanet", "milnet"))
+    p_fluid.add_argument("--metric", default="hnspf",
+                         choices=sorted(METRICS))
+    p_fluid.add_argument("--traffic-kbps", type=float, default=366.0)
+    p_fluid.add_argument("--scale", type=float, default=1.0)
+    p_fluid.add_argument("--rounds", type=int, default=30)
+    p_fluid.set_defaults(handler=cmd_fluid)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The paper's section-5 equilibrium model of SPF behaviour.
+
+The network's response to a reported link cost is modelled as a loop of
+transformations (the paper's Figure 6)::
+
+    reported cost --SPF--> routes --traffic matrix--> traffic
+        ^                                                |
+        |                                          utilization
+        +------------------- metric <-------------------+
+
+* :mod:`repro.analysis.metric_maps` -- cost as a function of utilization
+  (Figures 4 and 5),
+* :mod:`repro.analysis.shedding` -- the reported cost needed to shed each
+  route, by route length (Figure 7),
+* :mod:`repro.analysis.response_map` -- traffic on the "average link" as a
+  function of its reported cost (Figure 8),
+* :mod:`repro.analysis.equilibrium` -- fixed points of the loop
+  (Figures 9 and 10),
+* :mod:`repro.analysis.dynamics` -- period-by-period convergence traces
+  (Figures 11 and 12).
+"""
+
+from repro.analysis.metric_maps import (
+    metric_map,
+    normalized_metric_map,
+    reference_link,
+)
+from repro.analysis.shedding import SheddingStatistics, shed_cost_by_length
+from repro.analysis.response_map import NetworkResponseMap, build_response_map
+from repro.analysis.equilibrium import (
+    EquilibriumPoint,
+    equilibrium_point,
+    equilibrium_utilization_curve,
+)
+from repro.analysis.dynamics import CobwebTrace, cobweb_trace
+from repro.analysis.fluid import FluidNetworkModel, FluidRound, FluidTrace
+from repro.analysis.sensitivity import SensitivityPoint, sweep_parameter
+from repro.analysis.validation import (
+    CheckResult,
+    all_passed,
+    validate_configuration,
+)
+
+__all__ = [
+    "CheckResult",
+    "CobwebTrace",
+    "all_passed",
+    "validate_configuration",
+    "EquilibriumPoint",
+    "FluidNetworkModel",
+    "FluidRound",
+    "FluidTrace",
+    "NetworkResponseMap",
+    "SensitivityPoint",
+    "SheddingStatistics",
+    "sweep_parameter",
+    "build_response_map",
+    "cobweb_trace",
+    "equilibrium_point",
+    "equilibrium_utilization_curve",
+    "metric_map",
+    "normalized_metric_map",
+    "reference_link",
+    "shed_cost_by_length",
+]

@@ -1,0 +1,120 @@
+"""Equilibrium of the SPF feedback loop (Figures 9 and 10).
+
+A link is at equilibrium when the cost it reports leads -- through the
+Network Response Map and its own capacity -- to a utilization whose metric
+cost is the same value again::
+
+    rho* = MetricMap( min(offered_load * Response(rho*), 1) )
+
+``offered_load`` is the paper's x-axis in Figure 10: the utilization the
+"average link" would see under min-hop routing, as a fraction of its
+capacity.  The Response map is decreasing in the reported cost and the
+Metric map is non-decreasing in utilization, so the composition is
+decreasing and the fixed point is unique; we find it by bisection on the
+reported-cost axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.analysis.response_map import NetworkResponseMap
+from repro.metrics.base import LinkMetric
+from repro.topology.graph import Link
+
+
+@dataclass(frozen=True)
+class EquilibriumPoint:
+    """The fixed point of one (metric, load) configuration."""
+
+    offered_load: float
+    #: Equilibrium reported cost, in hops (cost / idle cost).
+    reported_cost_hops: float
+    #: Equilibrium link utilization in [0, 1].
+    utilization: float
+
+
+def _cost_in_hops(metric: LinkMetric, link: Link, utilization: float) -> float:
+    return metric.cost_at_utilization(link, utilization) / \
+        metric.idle_cost(link)
+
+
+def loop_function(
+    metric: LinkMetric,
+    link: Link,
+    response: NetworkResponseMap,
+    offered_load: float,
+) -> Callable[[float], float]:
+    """The one-period map: reported cost (hops) -> next reported cost."""
+    if offered_load < 0:
+        raise ValueError(f"offered load must be >= 0, got {offered_load}")
+
+    def step(rho: float) -> float:
+        utilization = min(
+            offered_load * response.traffic_fraction(rho), 1.0
+        )
+        return _cost_in_hops(metric, link, utilization)
+
+    return step
+
+
+def equilibrium_point(
+    metric: LinkMetric,
+    link: Link,
+    response: NetworkResponseMap,
+    offered_load: float,
+    tolerance: float = 1e-6,
+) -> EquilibriumPoint:
+    """Solve ``rho = step(rho)`` by bisection.
+
+    ``g(rho) = step(rho) - rho`` is strictly decreasing, positive at the
+    left end (an idle-cost report cannot be above the metric's response)
+    and negative once rho exceeds the metric's maximum, so a sign change
+    always exists in ``[lo, hi]``.
+    """
+    step = loop_function(metric, link, response, offered_load)
+    lo = min(1.0, response.reported_costs[0])
+    hi = max(
+        step(lo),
+        response.reported_costs[-1],
+        _cost_in_hops(metric, link, 1.0),
+    ) + 1.0
+    g_lo = step(lo) - lo
+    if g_lo <= 0:
+        # Even the lowest cost sheds everything down to the metric floor.
+        rho = step(lo)
+    else:
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if step(mid) - mid > 0:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < tolerance:
+                break
+        rho = 0.5 * (lo + hi)
+    utilization = min(offered_load * response.traffic_fraction(rho), 1.0)
+    return EquilibriumPoint(
+        offered_load=offered_load,
+        reported_cost_hops=rho,
+        utilization=utilization,
+    )
+
+
+def equilibrium_utilization_curve(
+    metric: LinkMetric,
+    link: Link,
+    response: NetworkResponseMap,
+    offered_loads: Sequence[float],
+) -> List[EquilibriumPoint]:
+    """Figure 10: equilibrium utilization across offered loads."""
+    return [
+        equilibrium_point(metric, link, response, load)
+        for load in offered_loads
+    ]
+
+
+def ideal_utilization(offered_load: float) -> float:
+    """The paper's 'ideal routing': fill the link, then shed the excess."""
+    return min(offered_load, 1.0)

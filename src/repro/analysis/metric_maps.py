@@ -1,0 +1,70 @@
+"""Metric maps: reported cost as a function of link utilization.
+
+These reproduce Figure 4 (D-SPF vs HN-SPF for a 56 kb/s line, normalized
+by the idle-line cost) and Figure 5 (HN-SPF absolute bounds for the four
+discussed line configurations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.metrics.base import LinkMetric
+from repro.topology.graph import Link, Network
+from repro.topology.linetypes import line_type
+
+
+def reference_link(type_name: str, propagation_s: float = -1.0) -> Link:
+    """A standalone link of the given line type, for map evaluation.
+
+    The link lives in a throwaway two-node network; it exists only so the
+    metric has a concrete link (bandwidth, propagation) to look at.
+    """
+    net = Network(name=f"reference-{type_name}")
+    a = net.add_node().node_id
+    b = net.add_node().node_id
+    link, _ = net.add_circuit(a, b, line_type(type_name), propagation_s)
+    return link
+
+
+def metric_map(
+    metric: LinkMetric,
+    link: Link,
+    utilizations: Sequence[float],
+) -> List[Tuple[float, float]]:
+    """``(utilization, cost in routing units)`` samples of the metric map.
+
+    This is the steady-state (equilibrium) view: no averaging filter or
+    movement limiting, exactly the curves the paper plots.
+    """
+    return [
+        (u, metric.cost_at_utilization(link, u)) for u in utilizations
+    ]
+
+
+def normalized_metric_map(
+    metric: LinkMetric,
+    link: Link,
+    utilizations: Sequence[float],
+) -> List[Tuple[float, float]]:
+    """Metric map normalized by the idle-line cost (Figure 4's y-axis).
+
+    *"The link cost in this figure has been normalized by the value
+    reported by an idle line, for the purpose of making a meaningful
+    comparison"* -- 30 routing units for HN-SPF, the 2-unit bias for
+    D-SPF on a 56 kb/s line.
+    """
+    idle = metric.idle_cost(link)
+    return [
+        (u, metric.cost_at_utilization(link, u) / idle)
+        for u in utilizations
+    ]
+
+
+def utilization_grid(points: int = 50, top: float = 0.99) -> List[float]:
+    """An even utilization grid on [0, top] for plotting maps."""
+    if points < 2:
+        raise ValueError(f"need at least 2 points, got {points}")
+    if not 0.0 < top <= 1.0:
+        raise ValueError(f"top must be in (0, 1], got {top}")
+    return [top * i / (points - 1) for i in range(points)]

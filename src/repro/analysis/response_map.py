@@ -1,0 +1,130 @@
+"""The Network Response Map (Figure 8).
+
+How much traffic flows over a link as a function of the cost it reports,
+with every other link reporting one ambient hop.  Costs are swept in
+*half-hop* steps: the point at x = 1.5 covers both "cost 1, ties broken
+against the link" and "cost 2, ties broken in favor" -- the paper's
+epsilon problem is exactly the traffic cliff between adjacent half-steps.
+
+Traffic is normalized so that 1.0 is the *base traffic*: what the link
+carries when it reports one hop with ties in its favor (x = 1.0, min-hop
+routing).  Averaging the normalized curves over all links characterizes
+the "average link" the equilibrium model reasons about.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.shedding import RouteOverLink, routes_over_link
+from repro.topology.graph import Network
+from repro.traffic.matrix import TrafficMatrix
+
+
+def half_hop_grid(max_hops: float = 9.0) -> List[float]:
+    """The reported-cost sweep: 0.5, 1.0, 1.5, ... max_hops."""
+    if max_hops < 1.0:
+        raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+    steps = int(round(max_hops * 2))
+    return [0.5 * i for i in range(1, steps + 1)]
+
+
+def _traffic_at(routes: Sequence[RouteOverLink], reported: float) -> float:
+    """Traffic remaining on the link at the given reported cost.
+
+    A route stays while ``reported <= shed_cost``; at integer reported
+    costs the tie (==) is broken in favor of the link, which the <=
+    encodes, and half-step costs sit strictly between the integer shed
+    thresholds.
+    """
+    return sum(r.traffic_bps for r in routes if reported <= r.shed_cost)
+
+
+@dataclass
+class NetworkResponseMap:
+    """Normalized traffic vs reported cost for the "average link"."""
+
+    #: Reported costs (hops), half-hop grid.
+    reported_costs: List[float]
+    #: Mean over links of (traffic at cost / base traffic).
+    normalized_traffic: List[float]
+    #: Per-link base traffic in b/s (reported cost 1.0, ties in favor).
+    base_traffic_bps: Dict[int, float]
+    #: Number of links that carried any base traffic (and were averaged).
+    links_averaged: int
+
+    def traffic_fraction(self, reported: float) -> float:
+        """Interpolated normalized traffic at any reported cost.
+
+        Below the grid the response saturates at its maximum; beyond the
+        grid all sheddable traffic is gone (the curve's floor value).
+        """
+        xs, ys = self.reported_costs, self.normalized_traffic
+        if reported <= xs[0]:
+            return ys[0]
+        if reported >= xs[-1]:
+            return ys[-1]
+        for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+            if x0 <= reported <= x1:
+                if x1 == x0:
+                    return y0
+                frac = (reported - x0) / (x1 - x0)
+                return y0 + frac * (y1 - y0)
+        raise AssertionError("unreachable")
+
+    def mean_base_utilization(self, network: Network) -> float:
+        """Mean base-traffic/capacity over links (min-hop utilization)."""
+        fractions = [
+            bps / network.link(link_id).bandwidth_bps
+            for link_id, bps in self.base_traffic_bps.items()
+        ]
+        return statistics.mean(fractions) if fractions else 0.0
+
+
+def build_response_map(
+    network: Network,
+    traffic: TrafficMatrix,
+    max_hops: float = 9.0,
+    link_ids: Optional[Sequence[int]] = None,
+) -> NetworkResponseMap:
+    """Compute the Network Response Map for a topology + traffic matrix.
+
+    Parameters
+    ----------
+    network, traffic:
+        The modelled network and its offered load.
+    max_hops:
+        Upper end of the reported-cost sweep.
+    link_ids:
+        Optionally restrict to a subset of links (useful for studying a
+        single link, or for sampling on very large networks).
+    """
+    grid = half_hop_grid(max_hops)
+    ids = list(link_ids) if link_ids is not None else [
+        l.link_id for l in network.links
+    ]
+    per_link_curves: List[List[float]] = []
+    base_traffic: Dict[int, float] = {}
+    for link_id in ids:
+        routes = routes_over_link(network, link_id, traffic)
+        base = _traffic_at(routes, 1.0)
+        base_traffic[link_id] = base
+        if base <= 0.0:
+            continue
+        per_link_curves.append(
+            [_traffic_at(routes, rho) / base for rho in grid]
+        )
+    if not per_link_curves:
+        raise ValueError("no link carries any base traffic")
+    averaged = [
+        statistics.mean(curve[i] for curve in per_link_curves)
+        for i in range(len(grid))
+    ]
+    return NetworkResponseMap(
+        reported_costs=grid,
+        normalized_traffic=averaged,
+        base_traffic_bps=base_traffic,
+        links_averaged=len(per_link_curves),
+    )

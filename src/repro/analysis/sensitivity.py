@@ -1,0 +1,101 @@
+"""Parameter sensitivity of the revised metric (extension).
+
+The paper: *"We designed the HN-SPF module so that these values would be
+easy to change, and envisioned that parameter sets would be tailored to
+the needs of individual networks."*  This module quantifies what each
+knob does, using the same equilibrium/cobweb machinery as Figures 9-12:
+sweep one :class:`~repro.metrics.params.HnspfParams` field and report
+the equilibrium utilization and the residual oscillation amplitude at a
+given offered load.
+
+Typical findings (asserted by the tests):
+
+* raising ``max_cost`` sheds more traffic at overload (toward D-SPF's
+  behaviour) -- equilibrium utilization falls;
+* raising ``utilization_threshold`` keeps the metric min-hop-like to
+  higher loads -- equilibrium utilization rises;
+* raising ``max_up`` (and ``max_down`` with it) speeds convergence but
+  widens the residual oscillation band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+from repro.analysis.dynamics import cobweb_trace
+from repro.analysis.equilibrium import equilibrium_point
+from repro.analysis.response_map import NetworkResponseMap
+from repro.metrics.hnspf import HopNormalizedMetric
+from repro.metrics.params import HnspfParams
+from repro.topology.graph import Link
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Outcome of one parameter value."""
+
+    value: float
+    equilibrium_utilization: float
+    equilibrium_cost_hops: float
+    oscillation_amplitude_hops: float
+
+
+def _metric_with(params: HnspfParams) -> HopNormalizedMetric:
+    return HopNormalizedMetric(
+        params={params.line_type_name: params}
+    )
+
+
+def _vary(base: HnspfParams, field: str, value) -> HnspfParams:
+    if field == "max_up":
+        # max_down must track max_up to stay a valid parameter set.
+        return replace(base, max_up=int(value), max_down=int(value) - 1)
+    return replace(base, **{field: value})
+
+
+def sweep_parameter(
+    base: HnspfParams,
+    field: str,
+    values: Sequence,
+    link: Link,
+    response: NetworkResponseMap,
+    offered_load: float,
+    periods: int = 80,
+) -> List[SensitivityPoint]:
+    """Sweep one parameter field; return equilibrium + dynamics per value.
+
+    Parameters
+    ----------
+    base:
+        The starting parameter set (must match ``link``'s line type).
+    field:
+        An ``HnspfParams`` field name ("max_cost",
+        "utilization_threshold", "max_up", "min_cost", ...).
+    values:
+        Values to try (each must produce a valid parameter set).
+    link, response, offered_load:
+        The equilibrium configuration (as in Figures 9-12).
+    periods:
+        Cobweb periods used for the amplitude estimate.
+    """
+    if base.line_type_name != link.line_type.name:
+        raise ValueError(
+            f"parameter set is for {base.line_type_name!r} but the link "
+            f"is {link.line_type.name!r}"
+        )
+    points: List[SensitivityPoint] = []
+    for value in values:
+        params = _vary(base, field, value)
+        metric = _metric_with(params)
+        equilibrium = equilibrium_point(metric, link, response,
+                                        offered_load)
+        trace = cobweb_trace(metric, link, response, offered_load,
+                             periods=periods)
+        points.append(SensitivityPoint(
+            value=float(value),
+            equilibrium_utilization=equilibrium.utilization,
+            equilibrium_cost_hops=equilibrium.reported_cost_hops,
+            oscillation_amplitude_hops=trace.amplitude(),
+        ))
+    return points

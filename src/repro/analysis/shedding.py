@@ -1,0 +1,209 @@
+"""Route-shedding statistics (Figure 7).
+
+For every link, taken one at a time with all *other* links reporting the
+same ambient cost (one hop), we ask of each route that uses the link: how
+high must the link's reported cost rise before SPF moves that route off
+it?  *"Ties are always broken in favor of using the given link"*, and the
+statistics are aggregated over the whole network to characterize the
+"average link".
+
+The shed cost of route (s, t) over link L = (u, v) decomposes, because all
+other links cost exactly one hop, into::
+
+    shed_cost = d(s, t) - d(s, u) - d(v, t)      [hops, without L]
+
+the largest reported cost at which  d(s,u) + cost + d(v,t) <= d(s,t)
+still holds.  Routes with shed_cost < 1 never use the link at all.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.topology.graph import Network
+from repro.traffic.matrix import TrafficMatrix
+
+
+def hop_distances_without_link(
+    network: Network, excluded_link: Optional[int], source: int
+) -> Dict[int, float]:
+    """BFS hop distances from ``source`` skipping ``excluded_link``.
+
+    The excluded link's *reverse* direction stays usable: the paper
+    studies simplex links.
+    """
+    dist: Dict[int, float] = {source: 0.0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for link in network.out_links(node):
+            if link.link_id == excluded_link:
+                continue
+            if link.dst not in dist:
+                dist[link.dst] = dist[node] + 1.0
+                frontier.append(link.dst)
+    for node in network.nodes:
+        dist.setdefault(node, float("inf"))
+    return dist
+
+
+@dataclass
+class RouteOverLink:
+    """One route that uses the studied link at ambient cost."""
+
+    src: int
+    dst: int
+    #: Route length in hops when the link costs one hop.
+    length: int
+    #: Largest reported cost (hops) at which the route still uses the link.
+    shed_cost: float
+    #: Offered traffic of the route (b/s); 0 if no matrix was given.
+    traffic_bps: float
+
+
+@dataclass
+class SheddingStatistics:
+    """Aggregated Figure-7 data: shed cost by route length.
+
+    Two views are kept:
+
+    * ``by_length`` -- every route's own shed cost, pooled over all links
+      (distribution of how sticky individual routes are);
+    * ``shed_all_by_length`` -- per link, the cost needed to shed **all**
+      of its routes of a given length (the paper's Figure-7 y-axis), then
+      pooled over links.
+    """
+
+    #: route length -> list of shed costs over all links and routes.
+    by_length: Dict[int, List[float]]
+    #: route length -> list (one per link) of max shed cost at that length.
+    shed_all_by_length: Dict[int, List[float]]
+
+    def lengths(self) -> List[int]:
+        return sorted(self.by_length)
+
+    def mean(self, length: int) -> float:
+        return statistics.mean(self.by_length[length])
+
+    def stdev(self, length: int) -> float:
+        values = self.by_length[length]
+        return statistics.pstdev(values) if len(values) > 1 else 0.0
+
+    def minimum(self, length: int) -> float:
+        return min(self.by_length[length])
+
+    def maximum(self, length: int) -> float:
+        return max(self.by_length[length])
+
+    def shed_all_mean(self, length: int) -> float:
+        """Mean (over links) cost to shed all length-``length`` routes."""
+        return statistics.mean(self.shed_all_by_length[length])
+
+    def shed_all_max(self, length: int) -> float:
+        return max(self.shed_all_by_length[length])
+
+    def shed_all_min(self, length: int) -> float:
+        return min(self.shed_all_by_length[length])
+
+    def shed_all_stdev(self, length: int) -> float:
+        values = self.shed_all_by_length[length]
+        return statistics.pstdev(values) if len(values) > 1 else 0.0
+
+    def mean_cost_to_shed_everything(self) -> float:
+        """The paper's headline: *"The average reported cost needed to
+        shed all routes is four hops"* -- per link, the cost at which its
+        last route leaves, averaged over links."""
+        per_link = self.shed_all_by_length.get(1)
+        if not per_link:
+            # No 1-hop routes recorded: fall back to the global max per
+            # length-1-equivalent (hereditary SPF means the 1-hop route
+            # is always the last to go).
+            per_link = [
+                max(values) for values in self.shed_all_by_length.values()
+            ]
+        return statistics.mean(per_link)
+
+    def overall_mean(self) -> float:
+        """Mean shed cost over every individual route."""
+        everything = [v for values in self.by_length.values() for v in values]
+        return statistics.mean(everything)
+
+    def overall_max(self) -> float:
+        return max(v for values in self.by_length.values() for v in values)
+
+
+def routes_over_link(
+    network: Network,
+    link_id: int,
+    traffic: Optional[TrafficMatrix] = None,
+) -> List[RouteOverLink]:
+    """Every route that uses ``link_id`` when it costs one ambient hop."""
+    link = network.link(link_id)
+    # Distances avoiding L, from every source (for d(s,u) and d(s,t)) --
+    # plus from v for d(v,t).
+    dist_from: Dict[int, Dict[int, float]] = {}
+    for source in network.nodes:
+        dist_from[source] = hop_distances_without_link(
+            network, link_id, source
+        )
+    demands = traffic.demands if traffic is not None else {}
+
+    routes: List[RouteOverLink] = []
+    for s in network.nodes:
+        to_u = dist_from[s][link.src]
+        if to_u == float("inf"):
+            continue
+        for t in network.nodes:
+            if s == t:
+                continue
+            from_v = dist_from[link.dst][t]
+            alt = dist_from[s][t]
+            if from_v == float("inf"):
+                continue
+            if alt == float("inf"):
+                # No alternate path at all (the link is a bridge for
+                # this pair): the route rides the link at ANY reported
+                # cost.  It still counts as base traffic for the
+                # response map, but has no finite shed cost.
+                shed = float("inf")
+            else:
+                shed = alt - to_u - from_v
+            if shed < 1.0:
+                continue  # never routed over the link
+            routes.append(
+                RouteOverLink(
+                    src=s,
+                    dst=t,
+                    length=int(to_u + 1 + from_v),
+                    shed_cost=shed,
+                    traffic_bps=demands.get((s, t), 0.0),
+                )
+            )
+    return routes
+
+
+def shed_cost_by_length(
+    network: Network,
+    traffic: Optional[TrafficMatrix] = None,
+) -> SheddingStatistics:
+    """Aggregate Figure-7 statistics over every link in the network."""
+    by_length: Dict[int, List[float]] = defaultdict(list)
+    shed_all: Dict[int, List[float]] = defaultdict(list)
+    for link in network.links:
+        per_length_max: Dict[int, float] = {}
+        for route in routes_over_link(network, link.link_id, traffic):
+            if route.shed_cost == float("inf"):
+                # Unsheddable (bridge) routes have no finite cost to
+                # aggregate; Figure 7 is about the sheddable ones.
+                continue
+            by_length[route.length].append(route.shed_cost)
+            previous = per_length_max.get(route.length, 0.0)
+            per_length_max[route.length] = max(previous, route.shed_cost)
+        for length, value in per_length_max.items():
+            shed_all[length].append(value)
+    return SheddingStatistics(
+        by_length=dict(by_length), shed_all_by_length=dict(shed_all)
+    )

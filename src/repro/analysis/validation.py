@@ -1,0 +1,146 @@
+"""Qualitative self-checks of a metric configuration.
+
+The paper warns that its constants *"are not necessarily appropriate for
+all network topologies"*.  When a user tunes
+:class:`~repro.metrics.params.HnspfParams` or swaps in their own
+topology, this module answers: *does the revised metric still have the
+qualitative properties the paper designed for?*
+
+Each check is analysis-only (no packet simulation), so the whole battery
+runs in seconds: ``python -m repro validate`` from the CLI, or
+:func:`validate_configuration` from code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.dynamics import cobweb_trace
+from repro.analysis.equilibrium import equilibrium_point
+from repro.analysis.response_map import NetworkResponseMap, build_response_map
+from repro.analysis.shedding import shed_cost_by_length
+from repro.metrics.dspf import DelayMetric
+from repro.metrics.hnspf import HopNormalizedMetric
+from repro.topology.graph import Link, Network
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one qualitative check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+def validate_configuration(
+    network: Network,
+    traffic: TrafficMatrix,
+    link: Link,
+    metric: Optional[HopNormalizedMetric] = None,
+    response: Optional[NetworkResponseMap] = None,
+) -> List[CheckResult]:
+    """Run the full battery of qualitative checks.
+
+    Parameters
+    ----------
+    network, traffic:
+        The topology and offered load to validate against.
+    link:
+        A representative link whose line type the metric is checked on.
+    metric:
+        The (possibly tuned) revised metric; defaults to the paper's.
+    response:
+        Optionally a precomputed response map for ``network``/``traffic``.
+    """
+    metric = metric or HopNormalizedMetric()
+    response = response or build_response_map(network, traffic)
+    dspf = DelayMetric()
+    checks: List[CheckResult] = []
+
+    def record(name: str, passed: bool, detail: str) -> None:
+        checks.append(CheckResult(name=name, passed=passed, detail=detail))
+
+    # 1. The cap must sit below the network's shedding point, or heavy
+    #    links will still dump all their routes at once.
+    shed = shed_cost_by_length(network)
+    cap_hops = metric.cost_at_utilization(link, 1.0) / \
+        metric.idle_cost(link)
+    if shed.shed_all_by_length:
+        shed_everything = shed.mean_cost_to_shed_everything()
+        record(
+            "cap-below-shedding-point",
+            cap_hops < shed_everything,
+            f"max relative cost {cap_hops:.2f} hops vs mean cost to shed "
+            f"all routes {shed_everything:.2f} hops",
+        )
+    else:
+        record(
+            "cap-below-shedding-point",
+            False,
+            "topology has no alternate paths at all: adaptive routing "
+            "cannot shed anything",
+        )
+
+    # 2. Min-hop-like below the knee: at half the threshold utilization
+    #    the equilibrium must carry the full offered load.
+    threshold = metric.params_for(link).utilization_threshold
+    light = max(threshold * 0.5, 0.05)
+    light_eq = equilibrium_point(metric, link, response, light)
+    record(
+        "min-hop-like-when-light",
+        abs(light_eq.utilization - light) < 0.05,
+        f"offered {light:.2f} -> equilibrium {light_eq.utilization:.2f}",
+    )
+
+    # 3. Higher sustained utilization than D-SPF under overload.
+    heavy = 2.0
+    hn_eq = equilibrium_point(metric, link, response, heavy)
+    d_eq = equilibrium_point(dspf, link, response, heavy)
+    record(
+        "beats-dspf-under-overload",
+        hn_eq.utilization > d_eq.utilization,
+        f"at 200% load: HN {hn_eq.utilization:.2f} vs "
+        f"D-SPF {d_eq.utilization:.2f}",
+    )
+
+    # 4. Bounded dynamics: the cobweb trace from the ease-in start must
+    #    not oscillate across more than one hop at full load.
+    trace = cobweb_trace(metric, link, response, 1.0, periods=60)
+    record(
+        "bounded-oscillation-at-full-load",
+        trace.amplitude() <= 1.0,
+        f"tail amplitude {trace.amplitude():.2f} hops",
+    )
+
+    # 5. Ease-in: a new link must start expensive (>= 1.5 hops relative).
+    initial_hops = metric.initial_cost(link) / metric.idle_cost(link)
+    record(
+        "ease-in-starts-expensive",
+        initial_hops >= 1.5,
+        f"initial cost {initial_hops:.2f}x idle",
+    )
+
+    # 6. The movement limits must be able to reach the cap in a few
+    #    periods (otherwise the metric cannot react within the paper's
+    #    tens-of-seconds regime).
+    params = metric.params_for(link)
+    periods_to_cap = (params.max_cost - params.min_cost) / params.max_up
+    record(
+        "reacts-within-a-few-periods",
+        periods_to_cap <= 8,
+        f"min->max in {periods_to_cap:.1f} periods of max_up",
+    )
+
+    return checks
+
+
+def all_passed(checks: List[CheckResult]) -> bool:
+    """Whether every check passed."""
+    return all(check.passed for check in checks)

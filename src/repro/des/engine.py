@@ -1,0 +1,153 @@
+"""The simulation event loop.
+
+The :class:`Simulator` owns a virtual clock and a priority queue of pending
+events.  Time only advances when the queue is popped, so an arbitrary amount
+of computation can occur "instantaneously" in simulated time.
+
+Events scheduled at equal times fire in FIFO order of scheduling, which makes
+simulations fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.des.events import Event, Timeout
+from repro.des.process import Process
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """A discrete-event simulation kernel.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock (default ``0.0``).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        # Heap entries are (time, sequence, event); sequence breaks ties
+        # deterministically in scheduling order.
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._sequence = count()
+        self._active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Clock and introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self._now} pending={len(self._queue)}>"
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create an untriggered :class:`Event` owned by this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new cooperative process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # Scheduling (kernel-internal, used by Event/Timeout)
+    # ------------------------------------------------------------------
+    def _schedule_at(self, when: float, event: Event) -> None:
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when}; clock already at {self._now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._sequence), event))
+
+    def _enqueue_event(self, event: Event) -> None:
+        """Schedule a just-triggered event's callbacks to run now."""
+        heapq.heappush(self._queue, (self._now, next(self._sequence), event))
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty.
+        """
+        if not self._queue:
+            raise SimulationError("no events scheduled")
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        if not event.triggered:
+            # A Timeout reaching its firing time: install its value now.
+            event._ok = True
+            event._value = getattr(event, "_deferred_value", None)
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until ``until`` (inclusive of events at exactly ``until``),
+        or until the event queue drains when ``until`` is ``None``.
+
+        After a bounded run the clock rests at ``until`` even if the last
+        event fired earlier, so successive bounded runs compose naturally.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until {until}; clock already at {self._now}"
+            )
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = float(until)
+
+    def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` triggers; return its value.
+
+        Parameters
+        ----------
+        event:
+            The event to wait for.
+        limit:
+            Optional time bound; a :class:`SimulationError` is raised if the
+            event has not fired by then.
+        """
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError(f"queue drained before {event!r} fired")
+            if limit is not None and self._queue[0][0] > limit:
+                raise SimulationError(f"{event!r} did not fire by t={limit}")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value

@@ -1,0 +1,169 @@
+"""Event primitives for the discrete-event kernel.
+
+Events are the unit of synchronization: a process ``yield``s an event and is
+resumed when the event is *triggered*.  An event is triggered exactly once,
+either successfully (carrying a value) or with a failure (carrying an
+exception).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.des.engine import Simulator
+
+# Sentinel distinguishing "not yet triggered" from "triggered with None".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.des.engine.Simulator`.
+    name:
+        Optional label used in ``repr`` for debugging.
+    """
+
+    def __init__(self, sim: "Simulator", name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} at t={self.sim.now}>"
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already fired."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully (meaningless until fired)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with.
+
+        Raises
+        ------
+        RuntimeError
+            If the event has not been triggered yet.
+        """
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, scheduling its callbacks now."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A waiting process sees the exception raised at its ``yield``.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue_event(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units from now."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        value: Any = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim, name=name)
+        self.delay = delay
+        # The value is installed by the kernel when the heap pop fires the
+        # timeout; until then the event counts as untriggered.
+        self._deferred_value = value
+        sim._schedule_at(sim.now + delay, self)
+
+    # Timeouts are triggered at construction time from the kernel's point of
+    # view; they merely fire later.  Guard against user code re-triggering.
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise RuntimeError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise RuntimeError("Timeout events trigger themselves")
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events: List[Event] = list(events)
+        self._pending = 0
+        for event in self.events:
+            if event.triggered:
+                self._process(event)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._process)
+        if not self.events and not self.triggered:
+            # Vacuously satisfied.
+            self.succeed([])
+
+    def _process(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired.
+
+    Its value is the list of constituent values in construction order.
+    A failing constituent fails the condition immediately.
+    """
+
+    def _process(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending <= 0 and all(e.triggered for e in self.events):
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first constituent event fires, with that event's value.
+
+    A failing first constituent fails the condition.
+    """
+
+    def _process(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed(event.value)

@@ -1,0 +1,148 @@
+"""Generator-based cooperative processes.
+
+A process wraps a Python generator.  Each ``yield`` must produce an
+:class:`~repro.des.events.Event` (a :class:`Process` is itself an event that
+fires when the generator finishes).  The process sleeps until the yielded
+event triggers, then resumes with the event's value -- or with the event's
+exception raised at the ``yield`` if it failed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.des.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.engine import Simulator
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries whatever the interrupter passed.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator; also an event that fires on its completion.
+
+    The completion value is the generator's ``return`` value.  An uncaught
+    exception in the generator fails the process event; if nothing is
+    waiting on the process, the exception propagates out of the simulation
+    loop so errors never pass silently.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process needs a generator, got {generator!r}")
+        super().__init__(sim, name=name or getattr(generator, "__name__", None))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off the generator at the current simulation time.
+        bootstrap = Event(sim, name="process-bootstrap")
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its current yield.
+
+        Interrupting a finished process is an error; interrupting a process
+        that has not yet started simply aborts its first step.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished {self!r}")
+        # Detach from whatever the process was waiting on, then schedule the
+        # interrupt delivery as an immediate event.
+        interrupt_event = Event(self.sim, name="interrupt")
+        interrupt_event.callbacks.append(
+            lambda _evt: self._resume_with_exception(Interrupt(cause))
+        )
+        interrupt_event.succeed()
+
+    # ------------------------------------------------------------------
+    # Internal resumption machinery
+    # ------------------------------------------------------------------
+    def _detach(self) -> None:
+        if self._waiting_on is not None and not self._waiting_on.triggered:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:
+            self._fail_or_crash(exc)
+            return
+        finally:
+            self.sim._active_process = None
+        self._wait_for(target)
+
+    def _resume_with_exception(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._detach()
+        self.sim._active_process = self
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as inner:
+            self._fail_or_crash(inner)
+            return
+        finally:
+            self.sim._active_process = None
+        self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            exc = TypeError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+            self._fail_or_crash(exc)
+            return
+        self._waiting_on = target
+        if target.triggered:
+            # Re-enter via the queue so resumption order stays deterministic.
+            relay = Event(self.sim, name="relay")
+            relay.callbacks.append(self._resume)
+            relay._ok = target.ok
+            relay._value = target.value  # may raise only if untriggered
+            self.sim._enqueue_event(relay)
+        else:
+            target.callbacks.append(self._resume)
+
+    def _fail_or_crash(self, exc: BaseException) -> None:
+        """Fail the process event, or re-raise if nobody is listening."""
+        if self.callbacks:
+            self.fail(exc)
+        else:
+            raise exc

@@ -1,0 +1,143 @@
+"""Queueing resources for the discrete-event kernel.
+
+:class:`Store` is a FIFO queue of items with optional finite capacity.  It is
+the building block for link transmit queues in the network simulator: the
+transmitter process blocks on :meth:`Store.get` and producers either block on
+:meth:`Store.put` or use :meth:`Store.try_put` to model drop-on-full buffers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Optional
+
+from repro.des.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.engine import Simulator
+
+
+class StoreFull(Exception):
+    """Raised by :meth:`Store.put` when a bounded store overflows."""
+
+
+class Store:
+    """A FIFO item queue with optional capacity.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    capacity:
+        Maximum number of queued items; ``None`` means unbounded.
+    name:
+        Optional label for debugging.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()
+        self._pending_puts: Deque[Any] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else self.capacity
+        label = self.name or "Store"
+        return f"<{label} {len(self._items)}/{cap} items>"
+
+    @property
+    def items(self) -> Deque[Any]:
+        """The queued items (oldest first).  Treat as read-only."""
+        return self._items
+
+    @property
+    def is_full(self) -> bool:
+        """Whether a further :meth:`try_put` would be refused."""
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def try_put(self, item: Any) -> bool:
+        """Enqueue ``item`` if there is room; return whether it was accepted.
+
+        This is the drop-on-full primitive: no blocking, no event.
+        """
+        if self.is_full:
+            return False
+        self._items.append(item)
+        self._service_getters()
+        return True
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` has been enqueued.
+
+        With unbounded capacity (or free space) the event fires immediately;
+        otherwise the producer waits in FIFO order for space.
+        """
+        event = Event(self.sim, name="store-put")
+        if not self.is_full and not self._putters:
+            self._items.append(item)
+            event.succeed()
+            self._service_getters()
+        else:
+            self._putters.append(event)
+            self._pending_puts.append(item)
+        return event
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def get(self) -> Event:
+        """Return an event that fires with the oldest item.
+
+        Consumers are served in FIFO order.
+        """
+        event = Event(self.sim, name="store-get")
+        self._getters.append(event)
+        self._service_getters()
+        return event
+
+    def try_get(self) -> Any:
+        """Dequeue and return the oldest item, or ``None`` if empty.
+
+        Only valid when no consumer is blocked in :meth:`get` (otherwise it
+        would jump the queue); misuse raises ``RuntimeError``.
+        """
+        if self._getters:
+            raise RuntimeError("try_get while consumers are blocked")
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._admit_waiting_put()
+        return item
+
+    # ------------------------------------------------------------------
+    # Internal matching
+    # ------------------------------------------------------------------
+    def _service_getters(self) -> None:
+        while self._getters and self._items:
+            getter = self._getters.popleft()
+            item = self._items.popleft()
+            getter.succeed(item)
+            self._admit_waiting_put()
+
+    def _admit_waiting_put(self) -> None:
+        if self._putters and not self.is_full:
+            putter = self._putters.popleft()
+            item = self._pending_puts.popleft()
+            self._items.append(item)
+            putter.succeed()

@@ -1,0 +1,70 @@
+"""Figure 10: equilibrium traffic for a heavily utilized line.
+
+Equilibrium link utilization against min-hop offered load for ideal
+routing, min-hop, D-SPF and HN-SPF.  The paper's reading: min-hop
+oversubscribes past 100%, D-SPF wastes capacity by over-shedding, and
+HN-SPF sits between them -- following min-hop until ~50% utilization and
+sustaining the highest utilization of the adaptive schemes thereafter.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import equilibrium_utilization_curve
+from repro.analysis.equilibrium import ideal_utilization
+from repro.experiments.base import (
+    ExperimentResult,
+    arpanet_response_map,
+    equilibrium_reference_link,
+)
+from repro.metrics import DelayMetric, HopNormalizedMetric, MinHopMetric
+from repro.report import ascii_chart, ascii_table
+
+TITLE = "Figure 10: Equilibrium Traffic for a Heavily Utilized Line"
+
+
+def offered_load_grid(fast: bool) -> list:
+    step = 0.5 if fast else 0.25
+    top = 4.0
+    count = int(top / step)
+    return [step * i for i in range(1, count + 1)]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    rmap = arpanet_response_map()
+    link = equilibrium_reference_link()
+    loads = offered_load_grid(fast)
+
+    curves = {}
+    for metric in (MinHopMetric(), DelayMetric(), HopNormalizedMetric()):
+        points = equilibrium_utilization_curve(metric, link, rmap, loads)
+        curves[metric.name] = [(p.offered_load, p.utilization)
+                               for p in points]
+    curves["Ideal"] = [(f, ideal_utilization(f)) for f in loads]
+
+    rows = [
+        (
+            f,
+            dict(curves["Ideal"])[f],
+            dict(curves["Min-Hop"])[f],
+            dict(curves["D-SPF"])[f],
+            dict(curves["HN-SPF"])[f],
+        )
+        for f in loads
+    ]
+    table = ascii_table(
+        ["offered load", "ideal", "min-hop", "D-SPF", "HN-SPF"],
+        rows,
+        title="equilibrium link utilization",
+    )
+    chart = ascii_chart(
+        curves,
+        title=TITLE,
+        x_label="min-hop offered load",
+        y_label="equilibrium utilization",
+    )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title=TITLE,
+        rendered=f"{chart}\n\n{table}",
+        data={"curves": curves, "loads": loads},
+    )

@@ -1,0 +1,65 @@
+"""Figure 11: dynamic behaviour of D-SPF at 100% offered load.
+
+Two cobweb traces of the same link under the same load: one starting
+near the equilibrium cost (converges -- the equilibrium exists) and one
+starting away from it (diverges into an unbounded oscillation between
+oversubscribed and idle).  The equilibrium is *meta-stable*.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import cobweb_trace, equilibrium_point
+from repro.experiments.base import (
+    ExperimentResult,
+    arpanet_response_map,
+    equilibrium_reference_link,
+)
+from repro.metrics import DelayMetric
+from repro.report import ascii_chart, ascii_table
+
+TITLE = "Figure 11: Dynamic Behavior of D-SPF (100% offered load)"
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    rmap = arpanet_response_map()
+    link = equilibrium_reference_link()
+    periods = 20 if fast else 40
+    metric = DelayMetric()
+    load = 1.0
+
+    eq = equilibrium_point(metric, link, rmap, load)
+    near = cobweb_trace(metric, link, rmap, load, periods=periods,
+                        start_hops=eq.reported_cost_hops * 1.05)
+    far = cobweb_trace(metric, link, rmap, load, periods=periods,
+                       start_hops=8.0)
+
+    rows = [
+        (t, near.reported_hops[t], far.reported_hops[t])
+        for t in range(min(periods + 1, 16))
+    ]
+    table = ascii_table(
+        ["period", "from near equilibrium (hops)", "from far away (hops)"],
+        rows,
+        title=f"equilibrium cost = {eq.reported_cost_hops:.2f} hops",
+    )
+    chart = ascii_chart(
+        {
+            "near start": list(enumerate(near.reported_hops)),
+            "far start": list(enumerate(far.reported_hops)),
+        },
+        title=TITLE,
+        x_label="routing period",
+        y_label="reported cost (hops)",
+    )
+    summary = (
+        f"near start amplitude: {near.amplitude():.2f} hops "
+        f"(converged={near.converged(tolerance=0.5)}); "
+        f"far start amplitude: {far.amplitude():.2f} hops "
+        f"(unbounded oscillation)"
+    )
+    return ExperimentResult(
+        experiment_id="fig11",
+        title=TITLE,
+        rendered=f"{chart}\n\n{table}\n\n{summary}",
+        data={"near": near, "far": far, "equilibrium": eq},
+    )

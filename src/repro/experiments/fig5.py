@@ -1,0 +1,50 @@
+"""Figure 5: absolute bounds of the HN-SPF metric for four line types.
+
+9.6/56 kb/s x terrestrial/satellite, in absolute routing units.  The
+normalization rules this exhibits: satellites idle at twice their
+terrestrial counterpart but equalize when loaded; a saturated 9.6 kb/s
+line costs only ~7x an idle 56 kb/s line (vs ~127x under D-SPF); each
+line type's maximum is ~3x the zero-propagation minimum of its speed
+class.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import metric_map, reference_link
+from repro.analysis.metric_maps import utilization_grid
+from repro.experiments.base import ExperimentResult
+from repro.metrics import HopNormalizedMetric
+from repro.report import ascii_chart, ascii_table
+
+TITLE = "Figure 5: Absolute Bounds (HN-SPF metric, routing units)"
+
+LINE_TYPES = ("56K-T", "56K-S", "9.6K-T", "9.6K-S")
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    points = 12 if fast else 40
+    grid = utilization_grid(points, top=1.0)
+    metric = HopNormalizedMetric()
+    curves = {
+        name: metric_map(metric, reference_link(name), grid)
+        for name in LINE_TYPES
+    }
+    rows = [
+        tuple([f"{u:.3f}"] + [curves[name][i][1] for name in LINE_TYPES])
+        for i, u in enumerate(grid)
+    ]
+    table = ascii_table(["utilization", *LINE_TYPES], rows)
+    chart = ascii_chart(
+        curves,
+        title=TITLE,
+        x_label="utilization",
+        y_label="cost (routing units)",
+    )
+    idle = {name: curves[name][0][1] for name in LINE_TYPES}
+    full = {name: curves[name][-1][1] for name in LINE_TYPES}
+    return ExperimentResult(
+        experiment_id="fig5",
+        title=TITLE,
+        rendered=f"{chart}\n\n{table}",
+        data={"grid": grid, "curves": curves, "idle": idle, "full": full},
+    )

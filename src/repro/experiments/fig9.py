@@ -1,0 +1,55 @@
+"""Figure 9: equilibrium calculation.
+
+Overlays the metric maps (cost vs utilization, in hops) with the family
+of network response maps (one per offered load) and reports the
+intersection -- the equilibrium -- for D-SPF and HN-SPF at each load.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import equilibrium_point
+from repro.experiments.base import (
+    ExperimentResult,
+    arpanet_response_map,
+    equilibrium_reference_link,
+)
+from repro.metrics import DelayMetric, HopNormalizedMetric
+from repro.report import ascii_table
+
+TITLE = "Figure 9: Equilibrium Calculation"
+
+OFFERED_LOADS = (0.25, 0.50, 0.75, 1.00, 1.25, 1.50, 1.75)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    rmap = arpanet_response_map()
+    link = equilibrium_reference_link()
+    loads = OFFERED_LOADS[::2] if fast else OFFERED_LOADS
+
+    rows = []
+    points = {}
+    for load in loads:
+        hn = equilibrium_point(HopNormalizedMetric(), link, rmap, load)
+        d = equilibrium_point(DelayMetric(), link, rmap, load)
+        points[load] = {"HN-SPF": hn, "D-SPF": d}
+        rows.append(
+            (
+                f"{100 * load:.0f}%",
+                d.reported_cost_hops,
+                d.utilization,
+                hn.reported_cost_hops,
+                hn.utilization,
+            )
+        )
+    table = ascii_table(
+        ["offered load", "D-SPF cost (hops)", "D-SPF util",
+         "HN-SPF cost (hops)", "HN-SPF util"],
+        rows,
+        title="equilibrium = intersection of Metric map and Response map",
+    )
+    return ExperimentResult(
+        experiment_id="fig9",
+        title=TITLE,
+        rendered=table,
+        data={"points": points, "loads": loads},
+    )

@@ -1,0 +1,59 @@
+"""Extension experiment: RFNM flow control vs congestion spread.
+
+Section 3.3's "spread of congestion", contained by the ARPANET's
+8-message end-to-end window: a 2x-overloaded flow plus an innocent
+bystander on a shared corridor, open-loop vs windowed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.metrics import HopNormalizedMetric
+from repro.report import ascii_table
+from repro.sim import NetworkSimulation, ScenarioConfig
+from repro.topology import build_string_network
+from repro.traffic import TrafficMatrix
+
+TITLE = "Extension: RFNM flow control vs congestion spread"
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    duration = 180.0 if fast else 300.0
+    warmup = 40.0 if fast else 60.0
+    results = {}
+    for window in (None, 8):
+        network = build_string_network(4)
+        traffic = TrafficMatrix({(0, 3): 112_000.0, (1, 2): 5_000.0})
+        sim = NetworkSimulation(
+            network, HopNormalizedMetric(), traffic,
+            ScenarioConfig(duration_s=duration, warmup_s=warmup, seed=6,
+                           flow_control_window=window),
+        )
+        report = sim.run()
+        backlog = sum(
+            psn.host.total_backlog()
+            for psn in sim.psns.values() if psn.host is not None
+        )
+        results[str(window)] = {"report": report, "backlog": backlog}
+    rows = [
+        (
+            "open loop" if window == "None" else f"window {window}",
+            data["report"].congestion_drops,
+            data["report"].round_trip_delay_ms,
+            data["report"].delay_p99_ms,
+            data["backlog"],
+        )
+        for window, data in results.items()
+    ]
+    table = ascii_table(
+        ["admission", "subnet drops", "RTT (ms)", "p99 one-way (ms)",
+         "messages held at host"],
+        rows,
+        title="2x-overloaded flow + bystander on a shared corridor",
+    )
+    return ExperimentResult(
+        experiment_id="flowcontrol",
+        title=TITLE,
+        rendered=table,
+        data=results,
+    )

@@ -1,0 +1,53 @@
+"""Extension experiment: simultaneous whole-network equilibrium.
+
+The fluid iteration of every link's feedback loop at once -- the
+computation the paper's section 5 sidesteps with its average-link model.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import FluidNetworkModel
+from repro.experiments.base import ExperimentResult, fresh_arpanet
+from repro.metrics import DelayMetric, HopNormalizedMetric
+from repro.report import ascii_table
+from repro.topology.arpanet import site_weights
+from repro.traffic import TrafficMatrix
+
+TITLE = "Extension: simultaneous whole-network equilibrium (fluid)"
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    rounds = 20 if fast else 40
+    traces = {}
+    for scale in (1.0, 2.0):
+        for metric in (DelayMetric(), HopNormalizedMetric()):
+            network = fresh_arpanet()
+            traffic = TrafficMatrix.gravity(
+                network, 366_000.0 * scale, weights=site_weights()
+            )
+            model = FluidNetworkModel(network, metric, traffic)
+            traces[(scale, metric.name)] = model.run(rounds=rounds)
+    rows = [
+        (
+            f"{scale:.0f}x peak",
+            name,
+            trace.tail_churn(),
+            trace.tail_mean_utilization(),
+            trace.tail_overload() / 1000.0,
+            trace.settled(churn_tolerance=0.1),
+        )
+        for (scale, name), trace in traces.items()
+    ]
+    table = ascii_table(
+        ["load", "metric", "cost churn", "mean util",
+         "overload (kb/s)", "settled"],
+        rows,
+        title=f"{rounds} routing periods, all links fed back "
+              f"simultaneously",
+    )
+    return ExperimentResult(
+        experiment_id="fluid",
+        title=TITLE,
+        rendered=table,
+        data=traces,
+    )

@@ -1,0 +1,24 @@
+"""The packet switching node (PSN).
+
+Everything a 1987 ARPANET node does, minus the host interface: store-and-
+forward packet switching with finite output buffers, per-link delay
+measurement averaged over ten-second intervals, link-cost generation
+through a pluggable metric, significance-gated routing-update origination
+(with the 50-second reliability cap), flooding, and incremental SPF route
+maintenance.
+"""
+
+from repro.psn.packet import Packet, PacketKind
+from repro.psn.interfaces import LinkTransmitter
+from repro.psn.measurement import DelayAverager, SignificanceCriterion
+from repro.psn.node import DOWN_COST, Psn
+
+__all__ = [
+    "DOWN_COST",
+    "DelayAverager",
+    "LinkTransmitter",
+    "Packet",
+    "PacketKind",
+    "Psn",
+    "SignificanceCriterion",
+]

@@ -1,0 +1,102 @@
+"""End-to-end (RFNM) flow control.
+
+The 1980s ARPANET paired adaptive routing with end-to-end flow control:
+a source PSN could have at most a fixed window of messages outstanding
+toward any destination; each delivered message was acknowledged by a
+*RFNM* ("Ready For Next Message") control packet, and only its arrival
+released the next message.  The paper leans on this context -- *"the
+over-utilization of subnet links can lead to the spread of congestion
+within the network"* is precisely what the window bounds, and BBN report
+[7] covers "Short-Term Modifications to Routing and Congestion Control"
+together.
+
+:class:`HostInterface` implements the source side: messages beyond the
+window wait in the host queue instead of being pumped into a congested
+subnet.  The destination PSN emits the RFNM (see
+:meth:`repro.psn.node.Psn.receive`), which routes back like any packet
+but rides the priority (control) queues, as RFNMs did.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Tuple
+
+#: The ARPANET allowed 8 outstanding messages per source-destination pair.
+DEFAULT_WINDOW = 8
+
+#: RFNM size on the wire (bits).
+RFNM_BITS = 152.0
+
+
+class HostInterface:
+    """Window-based message admission for one source PSN.
+
+    Parameters
+    ----------
+    window:
+        Maximum messages in flight per destination.
+    send:
+        Callback ``send(dst, size_bits)`` that actually injects the
+        message into the subnet.
+    """
+
+    def __init__(
+        self,
+        window: int = DEFAULT_WINDOW,
+        send: Callable[[int, float], None] = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if send is None:
+            raise ValueError("need a send callback")
+        self.window = window
+        self._send = send
+        self._in_flight: Dict[int, int] = {}
+        self._backlog: Dict[int, Deque[float]] = {}
+        self.messages_submitted = 0
+        self.messages_sent = 0
+        self.rfnms_received = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, dst: int, size_bits: float) -> bool:
+        """Offer one message toward ``dst``.
+
+        Returns ``True`` if it entered the subnet immediately, ``False``
+        if it was queued behind the window.
+        """
+        self.messages_submitted += 1
+        if self._in_flight.get(dst, 0) < self.window:
+            self._dispatch(dst, size_bits)
+            return True
+        self._backlog.setdefault(dst, deque()).append(size_bits)
+        return False
+
+    def _dispatch(self, dst: int, size_bits: float) -> None:
+        self._in_flight[dst] = self._in_flight.get(dst, 0) + 1
+        self.messages_sent += 1
+        self._send(dst, size_bits)
+
+    def on_rfnm(self, dst: int) -> None:
+        """A RFNM came back from ``dst``: release the next message."""
+        self.rfnms_received += 1
+        outstanding = self._in_flight.get(dst, 0)
+        if outstanding > 0:
+            self._in_flight[dst] = outstanding - 1
+        backlog = self._backlog.get(dst)
+        if backlog:
+            self._dispatch(dst, backlog.popleft())
+
+    # ------------------------------------------------------------------
+    def in_flight(self, dst: int) -> int:
+        """Messages currently unacknowledged toward ``dst``."""
+        return self._in_flight.get(dst, 0)
+
+    def backlog(self, dst: int) -> int:
+        """Messages waiting at the host for window space toward ``dst``."""
+        queue = self._backlog.get(dst)
+        return len(queue) if queue else 0
+
+    def total_backlog(self) -> int:
+        """Messages waiting across all destinations."""
+        return sum(len(q) for q in self._backlog.values())

@@ -1,0 +1,215 @@
+"""Output link transmitters.
+
+Each simplex link has a transmitter at its source PSN: a finite FIFO
+buffer for data packets, an unbounded priority queue for routing updates
+(*"routing update processing is a high priority process within the
+PSN"* -- and update delivery was reliable in the real network), and a
+process that serializes packets onto the wire at line rate, then delays
+them by the propagation time.
+
+The transmitter is also the **measurement point**: for every data packet
+it forwards it samples queueing + processing + transmission + propagation
+delay, feeding the ten-second averager that drives the link metric.  It
+tracks busy time for utilization statistics and is where buffer-overflow
+drops (Figure 13's dropped packets) happen.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.des import Simulator, Store
+from repro.psn.packet import Packet, PacketKind
+from repro.topology.graph import Link
+from repro.units import AVERAGE_PACKET_BITS
+
+#: Nodal processing overhead added to every forwarded packet (seconds).
+PROCESSING_DELAY_S = 0.001
+
+#: Default output buffer, in packets.  ARPANET PSNs had tight store-and-
+#: forward buffer pools; a small buffer keeps measured delays bounded.
+DEFAULT_BUFFER_PACKETS = 20
+
+
+class LinkTransmitter:
+    """The sending side of one simplex link.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    link:
+        The simplex link being driven.
+    deliver:
+        Callback ``deliver(packet, link)`` invoked at the destination PSN
+        when the packet finishes propagation.
+    buffer_packets:
+        Data buffer capacity; overflowing packets are dropped.
+    on_drop:
+        Optional callback ``on_drop(packet, link)`` for congestion drops.
+    error_rate:
+        Probability that a transmitted packet is destroyed by line
+        errors (checksummed and discarded at the receiver).  Lost
+        routing updates are repaired by the 50-second re-advertisement
+        cap; lost data packets were the hosts' problem in 1987.
+    error_rng:
+        Random source for error draws (required when ``error_rate`` > 0).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        deliver: Callable[[Packet, Link], None],
+        buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+        on_drop: Optional[Callable[[Packet, Link], None]] = None,
+        error_rate: float = 0.0,
+        error_rng=None,
+    ) -> None:
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError(f"error_rate must be in [0, 1): {error_rate}")
+        if error_rate > 0.0 and error_rng is None:
+            raise ValueError("error_rate needs an error_rng")
+        self.sim = sim
+        self.link = link
+        self.deliver = deliver
+        self.on_drop = on_drop
+        self.error_rate = error_rate
+        self.error_rng = error_rng
+        self.line_error_losses = 0
+        self._data = Store(sim, capacity=buffer_packets,
+                           name=f"txq-{link.link_id}")
+        self._control = Store(sim, name=f"ctlq-{link.link_id}")
+        self._wakeup = sim.event()
+        self.busy_s = 0.0
+        self.bits_sent = 0.0
+        self.data_bits_sent = 0.0
+        self.data_packets_sent = 0
+        self.control_packets_sent = 0
+        self.update_packets_sent = 0
+        self.drops = 0
+        self._process = sim.process(self._run(), name=f"tx-{link.link_id}")
+        #: Delay samples are reported here; installed by the owning PSN.
+        self.on_delay_sample: Optional[Callable[[float], None]] = None
+
+    # ------------------------------------------------------------------
+    # Enqueueing
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Queue ``packet`` for transmission.
+
+        Returns ``False`` (and counts a drop) if the data buffer is full.
+        Routing updates use the unbounded control queue and are sent ahead
+        of any queued data.
+        """
+        packet.enqueued_s = self.sim.now
+        if packet.kind is not PacketKind.DATA:
+            self._control.try_put(packet)
+        else:
+            if not self._data.try_put(packet):
+                self.drops += 1
+                if self.on_drop is not None:
+                    self.on_drop(packet, self.link)
+                return False
+        self._kick()
+        return True
+
+    def queue_length(self) -> int:
+        """Instantaneous output queue length (the 1969 metric's input)."""
+        return len(self._data) + len(self._control)
+
+    def control_backlog(self) -> int:
+        """Control packets still waiting to be transmitted."""
+        return len(self._control)
+
+    # ------------------------------------------------------------------
+    # Transmission loop
+    # ------------------------------------------------------------------
+    def _kick(self) -> None:
+        if not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _next_packet(self) -> Optional[Packet]:
+        packet = self._control.try_get()
+        if packet is None:
+            packet = self._data.try_get()
+        return packet
+
+    def _run(self):
+        while True:
+            packet = self._next_packet()
+            if packet is None:
+                self._wakeup = self.sim.event()
+                yield self._wakeup
+                continue
+            if not self.link.up:
+                # Wire is dead: the packet is lost (counted as a drop).
+                self.drops += 1
+                if self.on_drop is not None:
+                    self.on_drop(packet, self.link)
+                continue
+            queueing_s = self.sim.now - packet.enqueued_s
+            transmission_s = packet.size_bits / self.link.bandwidth_bps
+            yield self.sim.timeout(transmission_s)
+            self.busy_s += transmission_s
+            self.bits_sent += packet.size_bits
+            if packet.kind is not PacketKind.DATA:
+                self.control_packets_sent += 1
+                if packet.kind in (PacketKind.ROUTING_UPDATE,
+                                   PacketKind.DISTANCE_VECTOR):
+                    self.update_packets_sent += 1
+            if packet.kind is PacketKind.DATA:
+                self.data_packets_sent += 1
+                self.data_bits_sent += packet.size_bits
+                if self.on_delay_sample is not None:
+                    self.on_delay_sample(
+                        queueing_s
+                        + PROCESSING_DELAY_S
+                        + transmission_s
+                        + self.link.propagation_s
+                    )
+            self.sim.process(self._propagate(packet))
+
+    def _propagate(self, packet: Packet):
+        """Fly the packet down the wire; delivery after propagation."""
+        yield self.sim.timeout(self.link.propagation_s)
+        if self.error_rate > 0.0 and \
+                self.error_rng.random() < self.error_rate:
+            # Destroyed by line noise: the receiver's checksum rejects it.
+            self.line_error_losses += 1
+            if packet.kind is PacketKind.DATA:
+                self.drops += 1
+                if self.on_drop is not None:
+                    self.on_drop(packet, self.link)
+            return
+        packet.trail.append(self.link.link_id)
+        self.deliver(packet, self.link)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Drop everything queued (used when the link goes down).
+
+        Returns the number of data packets discarded.
+        """
+        discarded = 0
+        while True:
+            packet = self._data.try_get()
+            if packet is None:
+                break
+            discarded += 1
+            self.drops += 1
+            if self.on_drop is not None:
+                self.on_drop(packet, self.link)
+        while self._control.try_get() is not None:
+            pass
+        return discarded
+
+    def take_utilization(self, interval_s: float) -> float:
+        """Busy fraction since the last call; resets the accumulator."""
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive, got {interval_s}")
+        utilization = min(self.busy_s / interval_s, 1.0)
+        self.busy_s = 0.0
+        return utilization

@@ -1,0 +1,399 @@
+"""The PSN: forwarding, measurement, update generation, route maintenance.
+
+Each :class:`Psn` owns the transmitters of its outgoing links, a private
+cost table with an incrementally-maintained SPF tree, flooding state, and
+per-link metric state.  A measurement process closes a ten-second
+averaging interval per link, runs the metric, and floods an update when
+the change is significant (or the 50-second cap expires).
+
+Routing-update packets are processed the instant they are delivered --
+*"routing update processing is a high priority process within the PSN"* --
+which is exactly what makes all nodes shift their routes near-
+simultaneously and fuels D-SPF's oscillation.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.des import RandomStreams, Simulator
+from repro.metrics.base import LinkMetric
+from repro.metrics.queueing import service_time_s
+from repro.psn.flow_control import RFNM_BITS, HostInterface
+from repro.psn.interfaces import PROCESSING_DELAY_S, LinkTransmitter
+from repro.psn.measurement import DelayAverager, SignificanceCriterion
+from repro.psn.packet import Packet, PacketKind
+from repro.routing.flooding import FloodingState, RoutingUpdate
+from repro.routing.multipath import MultipathRouter
+from repro.routing.spf import UNREACHABLE, CostTable, SpfTree
+from repro.topology.graph import Link, Network
+from repro.units import MEASUREMENT_INTERVAL_S
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a psn <-> sim import cycle
+    from repro.sim.stats import StatsCollector
+
+#: Update cost advertising a dead link (anything >= this maps to inf).
+DOWN_COST = 2 ** 20
+
+#: Forwarding hop limit; transient inconsistency can loop packets.
+MAX_HOPS = 32
+
+#: Size of a routing-update packet on the wire (bits).
+UPDATE_PACKET_BITS = 1000.0
+
+#: Size of a per-link update acknowledgement (bits).
+ACK_PACKET_BITS = 200.0
+
+#: How often unacknowledged updates are retransmitted (seconds).  Rosen's
+#: protocol retransmits until the neighbour acknowledges or the line is
+#: declared dead.
+UPDATE_RETRANSMIT_S = 1.0
+
+_packet_ids = count()
+
+
+class Psn:
+    """One packet switching node.
+
+    Parameters
+    ----------
+    sim, network, node_id:
+        Where and who.
+    metric:
+        The link metric in force (shared by all nodes).
+    transmitters:
+        This node's outgoing-link transmitters, keyed by link id.
+    stats:
+        The run-wide statistics collector.
+    streams:
+        Random streams (used to stagger measurement phases).
+    measurement_interval_s:
+        The averaging period (paper: 10 s).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        metric: LinkMetric,
+        transmitters: Dict[int, LinkTransmitter],
+        stats: "StatsCollector",
+        streams: RandomStreams,
+        measurement_interval_s: float = MEASUREMENT_INTERVAL_S,
+        multipath_mode: Optional[str] = None,
+        multipath_slack: float = 0.0,
+        flow_control_window: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.metric = metric
+        self.transmitters = transmitters
+        self.stats = stats
+        self.measurement_interval_s = measurement_interval_s
+
+        # End-to-end (RFNM) flow control, if the scenario enables it.
+        self.host: Optional[HostInterface] = None
+        if flow_control_window is not None:
+            self.host = HostInterface(
+                window=flow_control_window, send=self._inject_now
+            )
+
+        self.costs = CostTable.from_metric(network, metric)
+        self.flooding = FloodingState(network, node_id)
+        self._metric_state: Dict[int, object] = {}
+        self._averager: Dict[int, DelayAverager] = {}
+        self._criterion: Dict[int, SignificanceCriterion] = {}
+        self._advertised: Dict[int, int] = {}
+
+        for link_id, transmitter in transmitters.items():
+            link = network.link(link_id)
+            self._init_link_state(link)
+            transmitter.on_delay_sample = self._averager[link_id].add_sample
+            # Everyone assumes idle costs at boot; advertise our real
+            # initial (ease-in) costs so the network learns them.
+            initial = metric.initial_cost(link)
+            self.costs[link_id] = float(initial)
+            self._advertised[link_id] = initial
+
+        self.tree = SpfTree(network, node_id, self.costs)
+        # Optional extension: equal-cost multipath forwarding (the
+        # remedy the paper's section 4.5 cites for few-large-flows
+        # traffic).  The router shares our cost table and is rebuilt
+        # whenever an update lands.
+        self.router: Optional[MultipathRouter] = None
+        if multipath_mode is not None:
+            self.router = MultipathRouter(
+                network, node_id, self.costs, mode=multipath_mode,
+                slack=multipath_slack,
+            )
+        offset = streams.uniform(
+            f"psn-{node_id}-phase", 0.0, measurement_interval_s
+        )
+        self._measurement = sim.process(
+            self._measure_loop(offset), name=f"measure-{node_id}"
+        )
+        # Reliable update delivery (Rosen's protocol): every update sent
+        # on a link is retransmitted until the neighbour acknowledges it.
+        # (link_id, update.key()) -> (update, send time).
+        self._unacked: Dict[tuple, tuple] = {}
+        sim.process(self._retransmit_loop(), name=f"rexmit-{node_id}")
+        # A booting PSN floods its links' initial (ease-in) costs --
+        # otherwise the rest of the network would assume idle costs and
+        # the ease-in would only exist in the owner's imagination.
+        boot_jitter = streams.uniform(f"psn-{node_id}-boot", 0.0, 0.1)
+        sim.process(self._boot_advertise(boot_jitter),
+                    name=f"boot-{node_id}")
+
+    def _boot_advertise(self, jitter_s: float):
+        yield self.sim.timeout(jitter_s)
+        for link_id in self.transmitters:
+            if self.network.link(link_id).up:
+                self.advertise(link_id, self._advertised[link_id])
+
+    def _init_link_state(self, link: Link) -> None:
+        zero_load = (
+            service_time_s(link.bandwidth_bps)
+            + link.propagation_s
+            + PROCESSING_DELAY_S
+        )
+        self._metric_state[link.link_id] = self.metric.create_state(link)
+        self._averager[link.link_id] = DelayAverager(zero_load)
+        self._criterion[link.link_id] = SignificanceCriterion(
+            self.metric.change_threshold(link),
+            measurement_interval_s=self.measurement_interval_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Packet plane
+    # ------------------------------------------------------------------
+    def inject(self, src: int, dst: int, size_bits: float) -> None:
+        """Accept a locally generated message.
+
+        With flow control enabled the message may wait in the host queue
+        for window space; otherwise it enters the subnet immediately.
+        """
+        self.stats.packet_offered(self.sim.now)
+        if self.host is not None:
+            self.host.submit(dst, size_bits)
+            return
+        self._inject_now(dst, size_bits)
+
+    def _inject_now(self, dst: int, size_bits: float) -> None:
+        packet = Packet(
+            packet_id=next(_packet_ids),
+            kind=PacketKind.DATA,
+            src=self.node_id,
+            dst=dst,
+            size_bits=size_bits,
+            created_s=self.sim.now,
+        )
+        self.forward(packet)
+
+    def receive(self, packet: Packet, via: Link) -> None:
+        """Handle a packet delivered by a neighbour's transmitter."""
+        if packet.kind is PacketKind.ROUTING_UPDATE:
+            self._handle_update(packet, via)
+            return
+        if packet.kind is PacketKind.UPDATE_ACK:
+            self._handle_ack(packet, via)
+            return
+        if packet.kind is PacketKind.RFNM:
+            if packet.dst == self.node_id:
+                if self.host is not None:
+                    self.host.on_rfnm(packet.src)
+            else:
+                self.forward(packet)
+            return
+        if packet.dst == self.node_id:
+            self.stats.packet_delivered(packet, self.sim.now)
+            if self.host is not None:
+                self._send_rfnm(packet)
+            return
+        self.forward(packet)
+
+    def _send_rfnm(self, delivered: Packet) -> None:
+        """Acknowledge a delivered message back to its source PSN."""
+        rfnm = Packet(
+            packet_id=next(_packet_ids),
+            kind=PacketKind.RFNM,
+            src=self.node_id,
+            dst=delivered.src,
+            size_bits=RFNM_BITS,
+            created_s=self.sim.now,
+        )
+        self.forward(rfnm)
+
+    def forward(self, packet: Packet) -> None:
+        """Single-path, destination-based forwarding."""
+        if packet.hop_count >= MAX_HOPS:
+            self.stats.packet_dropped(packet, "hop-limit", self.sim.now)
+            return
+        if self.router is not None:
+            link_id = self.router.next_hop_link(packet.dst, src=packet.src)
+        else:
+            link_id = self.tree.next_hop_link(packet.dst)
+        if link_id is None:
+            self.stats.packet_dropped(packet, "unreachable", self.sim.now)
+            return
+        self.transmitters[link_id].send(packet)
+
+    # ------------------------------------------------------------------
+    # Measurement / update generation
+    # ------------------------------------------------------------------
+    def _measure_loop(self, offset_s: float):
+        yield self.sim.timeout(offset_s)
+        while True:
+            yield self.sim.timeout(self.measurement_interval_s)
+            self._close_measurement_interval()
+
+    def _close_measurement_interval(self) -> None:
+        for link_id, transmitter in self.transmitters.items():
+            link = self.network.link(link_id)
+            utilization = transmitter.take_utilization(
+                self.measurement_interval_s
+            )
+            self.stats.utilization_sample(link_id, utilization, self.sim.now)
+            if not link.up:
+                continue
+            average_delay = self._averager[link_id].take_average()
+            cost = self.metric.measured_cost(
+                link, self._metric_state[link_id], average_delay
+            )
+            change = cost - self._advertised[link_id]
+            if self._criterion[link_id].should_report(change):
+                self.advertise(link_id, cost)
+
+    def advertise(self, link_id: int, cost: int) -> None:
+        """Originate and flood an update about one of our own links."""
+        update = self.flooding.originate(link_id, cost)
+        self._advertised[link_id] = cost
+        self.stats.update_originated(link_id, cost, self.sim.now)
+        self._apply_update(update)
+        self._flood(update, arrived_on=None)
+
+    # ------------------------------------------------------------------
+    # Update plane
+    # ------------------------------------------------------------------
+    def _handle_update(self, packet: Packet, via: Link) -> None:
+        update = packet.update
+        if update is None:
+            raise ValueError(f"routing-update packet without payload: {packet}")
+        # Acknowledge on the reverse link -- duplicates too, since the
+        # duplicate usually means our earlier ACK was lost.
+        self._send_ack(update, via)
+        if not self.flooding.accept(update):
+            return
+        self._apply_update(update)
+        self._flood(update, arrived_on=via.link_id)
+
+    def _send_ack(self, update: RoutingUpdate, via: Link) -> None:
+        if via.reverse_id is None:
+            return
+        reverse = self.transmitters.get(via.reverse_id)
+        if reverse is None or not self.network.link(via.reverse_id).up:
+            return
+        reverse.send(Packet(
+            packet_id=next(_packet_ids),
+            kind=PacketKind.UPDATE_ACK,
+            src=self.node_id,
+            dst=via.src,
+            size_bits=ACK_PACKET_BITS,
+            created_s=self.sim.now,
+            update=update,
+        ))
+
+    def _handle_ack(self, packet: Packet, via: Link) -> None:
+        update = packet.update
+        if update is None:
+            raise ValueError(f"update-ack packet without payload: {packet}")
+        # The ACK arrived on the reverse of the link we sent the update on.
+        sent_on = via.reverse_id
+        pending = self._unacked.get((sent_on, update.key()))
+        if pending is not None and pending[0].sequence <= update.sequence:
+            del self._unacked[(sent_on, update.key())]
+
+    def _retransmit_loop(self):
+        while True:
+            yield self.sim.timeout(UPDATE_RETRANSMIT_S)
+            now = self.sim.now
+            overdue: Dict[int, list] = {}
+            for (link_id, _key), (update, sent_at) in self._unacked.items():
+                if now - sent_at >= UPDATE_RETRANSMIT_S:
+                    overdue.setdefault(link_id, []).append(update)
+            for link_id, updates in overdue.items():
+                if not self.network.link(link_id).up:
+                    continue
+                if self.transmitters[link_id].control_backlog() > 0:
+                    # The originals (or a burst of other updates) have
+                    # not even left our own queue yet; retransmitting
+                    # now would only feed a control-channel congestion
+                    # collapse on slow lines.  Wait for the queue to
+                    # drain -- the ACK clock only matters once the
+                    # packets have actually been on the wire.
+                    continue
+                # The queue is drained: retransmit this link's whole
+                # overdue batch (the real protocol carried all of a
+                # node's pending costs in a single update packet).
+                for update in updates:
+                    self._transmit_update(update, link_id)
+
+    def _apply_update(self, update: RoutingUpdate) -> None:
+        cost = UNREACHABLE if update.cost >= DOWN_COST else float(update.cost)
+        self.tree.update_cost(update.link_id, cost)
+        if self.router is not None:
+            # The router shares our cost table (updated by the tree);
+            # rebuild its equal-cost candidate sets.
+            self.router.recompute()
+
+    def _flood(self, update: RoutingUpdate, arrived_on: Optional[int]) -> None:
+        for link_id in self.flooding.forward_links(arrived_on):
+            self._transmit_update(update, link_id)
+
+    def _transmit_update(self, update: RoutingUpdate, link_id: int) -> None:
+        """Send one update on one link, arming its retransmission."""
+        packet = Packet(
+            packet_id=next(_packet_ids),
+            kind=PacketKind.ROUTING_UPDATE,
+            src=self.node_id,
+            dst=None,
+            size_bits=UPDATE_PACKET_BITS,
+            created_s=self.sim.now,
+            update=update,
+        )
+        # A newer update for the same (origin, link) supersedes any
+        # older one still awaiting its ACK on this link.
+        self._unacked[(link_id, update.key())] = (update, self.sim.now)
+        self.transmitters[link_id].send(packet)
+
+    # ------------------------------------------------------------------
+    # Link failure / recovery
+    # ------------------------------------------------------------------
+    def local_link_down(self, link_id: int) -> None:
+        """React to one of our own links dying.
+
+        Flush its queue and flood an unreachable-cost update.  (The
+        caller flips the topology's ``up`` flag for both directions;
+        each endpoint node reports its own direction.)
+        """
+        self.transmitters[link_id].flush()
+        # Updates awaiting ACKs on the dead link will never be ACKed;
+        # the neighbour will re-learn everything when the link returns.
+        for key in [k for k in self._unacked if k[0] == link_id]:
+            del self._unacked[key]
+        self.advertise(link_id, DOWN_COST)
+
+    def local_link_up(self, link_id: int) -> None:
+        """React to one of our own links recovering.
+
+        Metric state is re-created, so HN-SPF's ease-in applies: the
+        link re-enters service at its maximum cost and pulls traffic in
+        gradually.
+        """
+        link = self.network.link(link_id)
+        self._init_link_state(link)
+        self.transmitters[link_id].on_delay_sample = \
+            self._averager[link_id].add_sample
+        self.advertise(link_id, self.metric.initial_cost(link))

@@ -1,0 +1,64 @@
+"""Packets.
+
+Two kinds travel the network: user data and routing updates.  The header
+carries only the destination PSN -- the paper points out that destination-
+based forwarding is possible *because* shortest paths are hereditary and
+all PSNs share a consistent view of link costs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.routing.flooding import RoutingUpdate
+
+
+class PacketKind(enum.Enum):
+    """What a packet carries."""
+
+    DATA = "data"
+    ROUTING_UPDATE = "routing-update"
+    #: Per-link acknowledgement of a routing update (Rosen's protocol).
+    UPDATE_ACK = "update-ack"
+    #: Ready For Next Message: end-to-end flow-control acknowledgement.
+    RFNM = "rfnm"
+    #: A 1969-style distance-vector exchange (neighbour-to-neighbour).
+    DISTANCE_VECTOR = "distance-vector"
+
+
+@dataclass
+class Packet:
+    """One packet in flight.
+
+    Timestamps and the hop trail exist purely for measurement; the
+    forwarding plane reads only ``dst`` (and ``kind``).
+    """
+
+    packet_id: int
+    kind: PacketKind
+    src: int
+    dst: Optional[int]  # None for flooded updates (no single destination)
+    size_bits: float
+    created_s: float
+    #: Routing update payload, present iff kind is ROUTING_UPDATE.
+    update: Optional[RoutingUpdate] = None
+    #: Distance-vector payload {dest: distance}, for DISTANCE_VECTOR.
+    vector: Optional[dict] = None
+    #: Link ids traversed so far.
+    trail: List[int] = field(default_factory=list)
+    #: Set by the transmitter when the packet is queued on an output link.
+    enqueued_s: float = 0.0
+
+    @property
+    def hop_count(self) -> int:
+        """Hops traversed so far."""
+        return len(self.trail)
+
+    def __repr__(self) -> str:
+        where = f"{self.src}->{self.dst}"
+        return (
+            f"<Packet #{self.packet_id} {self.kind.value} {where} "
+            f"{self.size_bits:.0f}b hops={self.hop_count}>"
+        )

@@ -1,0 +1,6 @@
+"""Plain-text rendering of tables and charts for the benchmark harness."""
+
+from repro.report.tables import ascii_table
+from repro.report.plots import ascii_chart
+
+__all__ = ["ascii_chart", "ascii_table"]

@@ -1,0 +1,80 @@
+"""CSV export of experiment data.
+
+The ASCII charts are for terminals; downstream users who want real plots
+get the raw series as CSV.  Every writer returns the path it wrote.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Sequence, Tuple, Union
+
+PathLike = Union[str, Path]
+Point = Tuple[float, float]
+
+
+def write_table_csv(
+    path: PathLike,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+) -> Path:
+    """Write a rectangular table as CSV."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return target
+
+
+def write_series_csv(
+    path: PathLike,
+    series: Dict[str, Sequence[Point]],
+    x_label: str = "x",
+) -> Path:
+    """Write one or more (x, y) series on a shared x column.
+
+    Series are merged on x: missing values are left blank, so ragged
+    series export cleanly.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    names = sorted(series)
+    merged: Dict[float, Dict[str, float]] = {}
+    for name in names:
+        for x, y in series[name]:
+            merged.setdefault(x, {})[name] = y
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label, *names])
+        for x in sorted(merged):
+            row = [x] + [merged[x].get(name, "") for name in names]
+            writer.writerow(row)
+    return target
+
+
+def write_report_csv(path: PathLike, reports: Dict[str, object]) -> Path:
+    """Write one or more :class:`~repro.sim.SimulationReport` objects.
+
+    ``reports`` maps a label (e.g. "May 87 (D-SPF)") to a report; the CSV
+    has one row per label with every numeric field as a column.
+    """
+    if not reports:
+        raise ValueError("need at least one report")
+    fields = [
+        "metric_name", "duration_s", "internode_traffic_kbps",
+        "round_trip_delay_ms", "updates_per_s", "updates_per_trunk_s",
+        "update_period_per_node_s", "actual_path_hops",
+        "minimum_path_hops", "congestion_drops", "other_drops",
+        "delivered_packets", "offered_packets",
+    ]
+    rows = []
+    for label, report in reports.items():
+        rows.append([label] + [getattr(report, field) for field in fields])
+    return write_table_csv(path, ["label", *fields], rows)

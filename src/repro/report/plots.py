@@ -1,0 +1,61 @@
+"""ASCII line charts.
+
+Good enough to eyeball the shape of every figure in the paper from a
+terminal: multiple series, automatic scaling, a symbol per series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+_SYMBOLS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Point]],
+    width: int = 64,
+    height: int = 18,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series on a shared-axis ASCII canvas."""
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+    for (name, pts), symbol in zip(sorted(series.items()), _SYMBOLS):
+        for x, y in pts:
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            canvas[height - 1 - row][col] = symbol
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (top={y_max:g}, bottom={y_min:g})")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:g} .. {x_max:g}")
+    legend = "  ".join(
+        f"{symbol}={name}"
+        for (name, _pts), symbol in zip(sorted(series.items()), _SYMBOLS)
+    )
+    lines.append(" legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render a monospace table with a header rule.
+
+    Floats are formatted to two decimals; everything else via ``str``.
+    """
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    grid: List[List[str]] = [[_cell(h) for h in headers]]
+    grid.extend([_cell(v) for v in row] for row in rows)
+    widths = [
+        max(len(grid[r][c]) for r in range(len(grid)))
+        for c in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        cell.ljust(width) for cell, width in zip(grid[0], widths)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in grid[1:]:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Route computation and dissemination.
+
+* :class:`~repro.routing.spf.SpfTree` -- incremental Dijkstra SPF, the
+  route computation both D-SPF and HN-SPF share,
+* :class:`~repro.routing.spf.CostTable` -- a node's view of link costs,
+* :class:`~repro.routing.flooding.FloodingState` -- sequence-numbered
+  routing-update flooding (Rosen's updating protocol, simplified),
+* :class:`~repro.routing.bellman_ford.BellmanFordNode` -- the original
+  1969 distributed Bellman-Ford algorithm with the instantaneous
+  queue-length metric, kept as a historical baseline.
+"""
+
+from repro.routing.bellman_ford import (
+    BellmanFordNode,
+    has_routing_loop,
+    queue_length_metric,
+)
+from repro.routing.flooding import FloodingState, FloodingStats, RoutingUpdate
+from repro.routing.multipath import MultipathRouter
+from repro.routing.spf import UNREACHABLE, CostTable, SpfStats, SpfTree
+
+__all__ = [
+    "BellmanFordNode",
+    "CostTable",
+    "FloodingState",
+    "FloodingStats",
+    "MultipathRouter",
+    "RoutingUpdate",
+    "SpfStats",
+    "SpfTree",
+    "UNREACHABLE",
+    "has_routing_loop",
+    "queue_length_metric",
+]

@@ -1,0 +1,321 @@
+"""Shortest Path First route computation.
+
+Each PSN knows the full topology and a cost for every link, and builds a
+shortest-path tree rooted at itself with Dijkstra's algorithm [Dijkstra
+1959].  The ARPANET implementation is an *incremental* SPF: when a routing
+update changes one link's cost, the PSN adjusts only the affected part of
+the tree -- e.g. *"if a routing update reports an increase in the cost for
+a link not in the tree, the algorithm does not recompute any part of the
+tree"*.
+
+:class:`SpfTree` implements both the full computation and the incremental
+update, and counts how much work each update costs (the Table-1 "PSN CPU
+utilization" proxy).  Correctness of the incremental path is property-
+tested against full recomputation.
+
+Costs are floats so the analysis package can sweep costs in fractional
+hops; the operational simulator feeds integer routing units.  Down links
+have cost ``inf``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.topology.graph import Network
+
+#: Cost of an unusable (down) link.
+UNREACHABLE = math.inf
+
+
+@dataclass
+class SpfStats:
+    """Work counters for route computation."""
+
+    full_computations: int = 0
+    incremental_updates: int = 0
+    no_op_updates: int = 0
+    nodes_scanned: int = 0
+
+    def reset(self) -> "SpfStats":
+        snapshot = SpfStats(
+            self.full_computations,
+            self.incremental_updates,
+            self.no_op_updates,
+            self.nodes_scanned,
+        )
+        self.full_computations = 0
+        self.incremental_updates = 0
+        self.no_op_updates = 0
+        self.nodes_scanned = 0
+        return snapshot
+
+
+@dataclass
+class CostTable:
+    """A node's view of every link's cost, indexed by link id."""
+
+    costs: List[float]
+
+    @classmethod
+    def uniform(cls, network: Network, cost: float) -> "CostTable":
+        return cls([cost] * len(network.links))
+
+    @classmethod
+    def from_metric(cls, network: Network, metric) -> "CostTable":
+        """Initialize from a metric's idle costs (steady light load)."""
+        return cls([metric.idle_cost(link) for link in network.links])
+
+    def __getitem__(self, link_id: int) -> float:
+        return self.costs[link_id]
+
+    def __setitem__(self, link_id: int, cost: float) -> None:
+        if cost < 0:
+            raise ValueError(f"link cost must be >= 0, got {cost}")
+        self.costs[link_id] = cost
+
+    def copy(self) -> "CostTable":
+        return CostTable(list(self.costs))
+
+
+class SpfTree:
+    """A shortest-path tree rooted at one PSN, incrementally maintained.
+
+    Parameters
+    ----------
+    network:
+        The (shared, read-only) topology.
+    root:
+        Node id of the PSN owning this tree.
+    costs:
+        The node's cost table.  The tree keeps a reference: mutate it
+        through :meth:`update_cost` so the tree stays consistent.
+    """
+
+    def __init__(self, network: Network, root: int, costs: CostTable) -> None:
+        if root not in network.nodes:
+            raise ValueError(f"unknown root {root}")
+        self.network = network
+        self.root = root
+        self.costs = costs
+        self.stats = SpfStats()
+        self.dist: Dict[int, float] = {}
+        #: link id of the tree edge *into* each node (None for root and
+        #: unreachable nodes).
+        self.parent_link: Dict[int, Optional[int]] = {}
+        self.recompute()
+
+    # ------------------------------------------------------------------
+    # Full computation
+    # ------------------------------------------------------------------
+    def recompute(self) -> None:
+        """Full Dijkstra from the root."""
+        self.stats.full_computations += 1
+        self.dist = {node_id: UNREACHABLE for node_id in self.network.nodes}
+        self.parent_link = {node_id: None for node_id in self.network.nodes}
+        self.dist[self.root] = 0.0
+        heap: List = [(0.0, 0, self.root)]
+        sequence = count(1)
+        done: Set[int] = set()
+        while heap:
+            d, _seq, node = heapq.heappop(heap)
+            if node in done or d > self.dist[node]:
+                continue
+            done.add(node)
+            self.stats.nodes_scanned += 1
+            for link in self.network.out_links(node):
+                cost = self.costs[link.link_id]
+                if math.isinf(cost):
+                    continue
+                candidate = d + cost
+                if candidate < self.dist[link.dst]:
+                    self.dist[link.dst] = candidate
+                    self.parent_link[link.dst] = link.link_id
+                    heapq.heappush(heap, (candidate, next(sequence), link.dst))
+
+    # ------------------------------------------------------------------
+    # Incremental update
+    # ------------------------------------------------------------------
+    def update_cost(self, link_id: int, new_cost: float) -> None:
+        """Apply one link-cost change, adjusting only the affected region.
+
+        Implements the classic incremental SPF cases:
+
+        * cost increase on a link not in the tree: **no work at all**,
+        * cost decrease: propagate the (possible) improvement from the
+          link's head,
+        * cost increase on a tree link: detach the affected subtree and
+          re-attach it through its best boundary links.
+        """
+        old_cost = self.costs[link_id]
+        self.costs[link_id] = new_cost
+        if new_cost == old_cost:
+            self.stats.no_op_updates += 1
+            return
+        link = self.network.link(link_id)
+        in_tree = self.parent_link.get(link.dst) == link_id
+
+        if new_cost < old_cost:
+            base = self.dist[link.src]
+            if math.isinf(base):
+                self.stats.no_op_updates += 1
+                return
+            if in_tree or base + new_cost < self.dist[link.dst]:
+                self.stats.incremental_updates += 1
+                self._propagate_improvement(link_id)
+            else:
+                self.stats.no_op_updates += 1
+            return
+
+        # Cost increased.
+        if not in_tree:
+            # "the algorithm does not recompute any part of the tree"
+            self.stats.no_op_updates += 1
+            return
+        self.stats.incremental_updates += 1
+        self._reattach_subtree(link.dst)
+
+    def _propagate_improvement(self, link_id: int) -> None:
+        """Relax outward from a link whose cost dropped."""
+        link = self.network.link(link_id)
+        heap: List = []
+        sequence = count()
+        candidate = self.dist[link.src] + self.costs[link_id]
+        if candidate < self.dist[link.dst] or (
+            self.parent_link.get(link.dst) == link_id
+            and candidate != self.dist[link.dst]
+        ):
+            self.dist[link.dst] = candidate
+            self.parent_link[link.dst] = link_id
+            heapq.heappush(heap, (candidate, next(sequence), link.dst))
+        while heap:
+            d, _seq, node = heapq.heappop(heap)
+            if d > self.dist[node]:
+                continue
+            self.stats.nodes_scanned += 1
+            for out in self.network.out_links(node):
+                cost = self.costs[out.link_id]
+                if math.isinf(cost):
+                    continue
+                cand = d + cost
+                if cand < self.dist[out.dst]:
+                    self.dist[out.dst] = cand
+                    self.parent_link[out.dst] = out.link_id
+                    heapq.heappush(heap, (cand, next(sequence), out.dst))
+
+    def _reattach_subtree(self, subtree_root: int) -> None:
+        """Recompute distances for the subtree hanging off ``subtree_root``.
+
+        Every node outside the subtree keeps its (still optimal) distance;
+        subtree nodes are re-seeded from all links crossing into the
+        subtree, then settled with Dijkstra.
+        """
+        subtree = self._collect_subtree(subtree_root)
+        for node in subtree:
+            self.dist[node] = UNREACHABLE
+            self.parent_link[node] = None
+
+        heap: List = []
+        sequence = count()
+        for node in subtree:
+            for link in self.network.in_links(node):
+                if link.src in subtree:
+                    continue
+                cost = self.costs[link.link_id]
+                base = self.dist[link.src]
+                if math.isinf(cost) or math.isinf(base):
+                    continue
+                candidate = base + cost
+                if candidate < self.dist[node]:
+                    self.dist[node] = candidate
+                    self.parent_link[node] = link.link_id
+                    heapq.heappush(heap, (candidate, next(sequence), node))
+
+        while heap:
+            d, _seq, node = heapq.heappop(heap)
+            if d > self.dist[node]:
+                continue
+            self.stats.nodes_scanned += 1
+            for out in self.network.out_links(node):
+                cost = self.costs[out.link_id]
+                if math.isinf(cost):
+                    continue
+                candidate = d + cost
+                if candidate < self.dist[out.dst]:
+                    self.dist[out.dst] = candidate
+                    self.parent_link[out.dst] = out.link_id
+                    heapq.heappush(heap, (candidate, next(sequence), out.dst))
+
+    def _collect_subtree(self, subtree_root: int) -> Set[int]:
+        """All nodes whose tree path passes through ``subtree_root``."""
+        children: Dict[int, List[int]] = {n: [] for n in self.network.nodes}
+        for node, link_id in self.parent_link.items():
+            if link_id is not None:
+                children[self.network.link(link_id).src].append(node)
+        subtree: Set[int] = set()
+        stack = [subtree_root]
+        while stack:
+            node = stack.pop()
+            if node in subtree:
+                continue
+            subtree.add(node)
+            stack.extend(children[node])
+        return subtree
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def reachable(self, dest: int) -> bool:
+        """Whether the root currently has any path to ``dest``."""
+        return not math.isinf(self.dist[dest])
+
+    def next_hop_link(self, dest: int) -> Optional[int]:
+        """The outgoing link the root uses toward ``dest``.
+
+        ``None`` for the root itself or unreachable destinations.  This is
+        the single-path forwarding decision: all packets for ``dest`` leave
+        on this link.
+        """
+        if dest == self.root or not self.reachable(dest):
+            return None
+        node = dest
+        while True:
+            link_id = self.parent_link[node]
+            link = self.network.link(link_id)
+            if link.src == self.root:
+                return link_id
+            node = link.src
+
+    def path_links(self, dest: int) -> List[int]:
+        """Tree path from the root to ``dest`` as link ids (may be [])."""
+        if dest == self.root or not self.reachable(dest):
+            return []
+        links: List[int] = []
+        node = dest
+        while node != self.root:
+            link_id = self.parent_link[node]
+            links.append(link_id)
+            node = self.network.link(link_id).src
+        links.reverse()
+        return links
+
+    def path_nodes(self, dest: int) -> List[int]:
+        """Tree path from the root to ``dest`` as node ids."""
+        if not self.reachable(dest):
+            return []
+        nodes = [self.root]
+        for link_id in self.path_links(dest):
+            nodes.append(self.network.link(link_id).dst)
+        return nodes
+
+    def hop_count(self, dest: int) -> int:
+        """Number of links on the tree path to ``dest`` (0 for the root)."""
+        return len(self.path_links(dest))
+
+    def uses_link(self, dest: int, link_id: int) -> bool:
+        """Whether the root's route to ``dest`` traverses ``link_id``."""
+        return link_id in self.path_links(dest)

@@ -1,0 +1,24 @@
+"""Packet-level network simulation.
+
+* :class:`~repro.sim.network_sim.NetworkSimulation` -- a topology + metric
+  + traffic matrix, running as a network of PSNs,
+* :class:`~repro.sim.network_sim.ScenarioConfig` -- run parameters,
+* :class:`~repro.sim.stats.StatsCollector` /
+  :class:`~repro.sim.stats.SimulationReport` -- measurement and the
+  Table-1-style summary.
+"""
+
+from repro.sim.legacy_sim import BellmanFordSimulation
+from repro.sim.network_sim import NetworkSimulation, ScenarioConfig
+from repro.sim.scenarios import build_scenario, scenario_names
+from repro.sim.stats import SimulationReport, StatsCollector
+
+__all__ = [
+    "BellmanFordSimulation",
+    "NetworkSimulation",
+    "ScenarioConfig",
+    "SimulationReport",
+    "StatsCollector",
+    "build_scenario",
+    "scenario_names",
+]

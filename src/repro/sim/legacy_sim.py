@@ -1,0 +1,251 @@
+"""Packet-level simulation of the original (1969) routing algorithm.
+
+Section 2.1 of the paper describes the first ARPANET routing scheme: a
+distributed Bellman-Ford computation whose link metric was *"simply the
+instantaneous queue length at the moment of updating plus a fixed
+constant"*, with neighbour-table exchanges *"every 2/3 seconds"*.  Its
+recorded failure modes -- a volatile instantaneous metric, persistent
+forwarding loops while the computation converges, and routing
+oscillation -- motivated the 1979 move to SPF and ultimately this
+paper's 1987 metric revision.
+
+:class:`BellmanFordSimulation` runs that algorithm live: distance
+vectors travel as real control packets over the same transmitters the
+SPF simulations use, the metric is sampled from the *actual* output
+queues, and data packets follow the (sometimes looping) next hops, with
+the hop limit catching the casualties.  Together with
+:class:`~repro.sim.network_sim.NetworkSimulation` this covers all three
+generations of ARPANET routing.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Dict, Optional
+
+from repro.des import RandomStreams, Simulator
+from repro.psn.interfaces import LinkTransmitter
+from repro.psn.packet import Packet, PacketKind
+from repro.psn.node import MAX_HOPS
+from repro.routing.bellman_ford import (
+    QUEUE_METRIC_CONSTANT,
+    BellmanFordNode,
+    queue_length_metric,
+)
+from repro.sim.network_sim import ScenarioConfig
+from repro.sim.stats import SimulationReport, StatsCollector
+from repro.topology.graph import Link, Network
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.sources import start_sources
+from repro.units import BELLMAN_FORD_EXCHANGE_S
+
+#: Distance-vector packet overhead: header plus 16 bits per destination.
+_VECTOR_HEADER_BITS = 64.0
+_VECTOR_BITS_PER_DEST = 16.0
+
+_packet_ids = count()
+
+
+class _LegacyNode:
+    """One PSN running the 1969 algorithm."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: int,
+        transmitters: Dict[int, LinkTransmitter],
+        stats: StatsCollector,
+        streams: RandomStreams,
+        exchange_interval_s: float,
+        metric_constant: float,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.transmitters = transmitters
+        self.stats = stats
+        self.exchange_interval_s = exchange_interval_s
+        self.metric_constant = metric_constant
+        self.bf = BellmanFordNode(network, node_id)
+        self.vectors_sent = 0
+        offset = streams.uniform(
+            f"bf-{node_id}-phase", 0.0, exchange_interval_s
+        )
+        sim.process(self._exchange_loop(offset), name=f"bf-{node_id}")
+
+    # ------------------------------------------------------------------
+    def _link_toward(self, neighbour: int) -> Optional[LinkTransmitter]:
+        links = self.network.links_between(self.node_id, neighbour)
+        if not links:
+            return None
+        # Multi-circuit: take the least-queued link, as the hardware did.
+        best = min(
+            links,
+            key=lambda l: self.transmitters[l.link_id].queue_length(),
+        )
+        return self.transmitters[best.link_id]
+
+    def _current_metrics(self) -> Dict[int, float]:
+        metrics: Dict[int, float] = {}
+        for neighbour in self.network.neighbors(self.node_id):
+            transmitter = self._link_toward(neighbour)
+            if transmitter is not None:
+                metrics[neighbour] = queue_length_metric(
+                    transmitter.queue_length(), self.metric_constant
+                )
+        return metrics
+
+    def _exchange_loop(self, offset_s: float):
+        yield self.sim.timeout(offset_s)
+        vector_bits = (
+            _VECTOR_HEADER_BITS
+            + _VECTOR_BITS_PER_DEST * len(self.network.nodes)
+        )
+        while True:
+            yield self.sim.timeout(self.exchange_interval_s)
+            # Re-minimize on the *instantaneous* queue lengths (the
+            # paper's complaint: a sample, not an average).
+            self.bf.recompute(self._current_metrics())
+            snapshot = self.bf.snapshot()
+            for neighbour in self.network.neighbors(self.node_id):
+                transmitter = self._link_toward(neighbour)
+                if transmitter is None:
+                    continue
+                packet = Packet(
+                    packet_id=next(_packet_ids),
+                    kind=PacketKind.DISTANCE_VECTOR,
+                    src=self.node_id,
+                    dst=neighbour,
+                    size_bits=vector_bits,
+                    created_s=self.sim.now,
+                    vector=dict(snapshot),
+                )
+                transmitter.send(packet)
+                self.vectors_sent += 1
+
+    # ------------------------------------------------------------------
+    def inject(self, src: int, dst: int, size_bits: float) -> None:
+        packet = Packet(
+            packet_id=next(_packet_ids),
+            kind=PacketKind.DATA,
+            src=src,
+            dst=dst,
+            size_bits=size_bits,
+            created_s=self.sim.now,
+        )
+        self.stats.packet_offered(self.sim.now)
+        self.forward(packet)
+
+    def receive(self, packet: Packet, via: Link) -> None:
+        if packet.kind is PacketKind.DISTANCE_VECTOR:
+            self.bf.receive_vector(via.src, packet.vector)
+            return
+        if packet.dst == self.node_id:
+            self.stats.packet_delivered(packet, self.sim.now)
+            return
+        self.forward(packet)
+
+    def forward(self, packet: Packet) -> None:
+        if packet.hop_count >= MAX_HOPS:
+            self.stats.packet_dropped(packet, "hop-limit", self.sim.now)
+            return
+        neighbour = self.bf.next_hop(packet.dst)
+        if neighbour is None:
+            self.stats.packet_dropped(packet, "unreachable", self.sim.now)
+            return
+        transmitter = self._link_toward(neighbour)
+        if transmitter is None:
+            self.stats.packet_dropped(packet, "unreachable", self.sim.now)
+            return
+        transmitter.send(packet)
+
+
+class BellmanFordSimulation:
+    """The 1969 ARPANET, live: distance vectors, queue-length metric."""
+
+    def __init__(
+        self,
+        network: Network,
+        traffic: TrafficMatrix,
+        config: Optional[ScenarioConfig] = None,
+        exchange_interval_s: float = BELLMAN_FORD_EXCHANGE_S,
+        metric_constant: float = QUEUE_METRIC_CONSTANT,
+    ) -> None:
+        self.network = network
+        self.traffic = traffic
+        self.config = config or ScenarioConfig()
+        self.sim = Simulator()
+        self.streams = RandomStreams(self.config.seed)
+        self.stats = StatsCollector(network, warmup_s=self.config.warmup_s)
+        self.transmitters: Dict[int, LinkTransmitter] = {
+            link.link_id: LinkTransmitter(
+                self.sim,
+                link,
+                deliver=self._deliver,
+                buffer_packets=self.config.buffer_packets,
+                on_drop=self._on_drop,
+            )
+            for link in network.links
+        }
+        self.nodes: Dict[int, _LegacyNode] = {
+            node.node_id: _LegacyNode(
+                self.sim,
+                network,
+                node.node_id,
+                {
+                    link.link_id: self.transmitters[link.link_id]
+                    for link in network.out_links(node.node_id)
+                },
+                self.stats,
+                self.streams,
+                exchange_interval_s,
+                metric_constant,
+            )
+            for node in network
+        }
+        self.sources = start_sources(
+            self.sim,
+            self.streams,
+            traffic,
+            emit=self._emit,
+            mean_packet_bits=self.config.mean_packet_bits,
+        )
+
+    def _deliver(self, packet: Packet, link: Link) -> None:
+        self.nodes[link.dst].receive(packet, link)
+
+    def _on_drop(self, packet: Packet, link: Link) -> None:
+        if packet.kind is PacketKind.DATA:
+            self.stats.packet_dropped(packet, "congestion", self.sim.now)
+
+    def _emit(self, src: int, dst: int, size_bits: float) -> None:
+        self.nodes[src].inject(src, dst, size_bits)
+
+    def fail_circuit_at(self, link_id: int, at_s: float) -> None:
+        """Schedule a circuit failure.
+
+        There is no flooding here: neighbours notice the dead circuit at
+        their next exchange, and the bad news spreads one vector exchange
+        (2/3 s) per hop while stale tables keep attracting traffic --
+        the counting-to-infinity weakness of distance-vector routing.
+        """
+        self.sim.process(self._fail_circuit(link_id, at_s))
+
+    def _fail_circuit(self, link_id: int, at_s: float):
+        yield self.sim.timeout(max(at_s - self.sim.now, 0.0))
+        affected = self.network.set_circuit_state(link_id, up=False)
+        for link in affected:
+            self.transmitters[link.link_id].flush()
+
+    def run(self, until_s: Optional[float] = None) -> SimulationReport:
+        """Run the simulation and summarize it."""
+        horizon = until_s if until_s is not None else self.config.duration_s
+        self.sim.run(until=horizon)
+        update_transmissions = sum(
+            t.update_packets_sent for t in self.transmitters.values()
+        )
+        return self.stats.report(
+            "BF-1969", horizon,
+            update_transmissions=update_transmissions,
+        )

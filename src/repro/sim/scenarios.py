@@ -1,0 +1,145 @@
+"""Canned scenarios: the paper's study configurations, ready to run.
+
+Each scenario bundles a topology, metric, traffic matrix and run
+configuration.  They are the single source of truth shared by the
+experiment harness, the CLI (``python -m repro simulate --scenario``)
+and downstream users who want "the paper's setup" in one call:
+
+>>> from repro.sim.scenarios import build_scenario
+>>> sim = build_scenario("aug87", duration_s=60.0, warmup_s=10.0)
+>>> report = sim.run()
+>>> report.metric_name
+'HN-SPF'
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.metrics import DelayMetric, HopNormalizedMetric
+from repro.sim.legacy_sim import BellmanFordSimulation
+from repro.sim.network_sim import NetworkSimulation, ScenarioConfig
+from repro.topology import (
+    build_arpanet_1987,
+    build_milnet_1987,
+    build_two_region_network,
+)
+from repro.topology.arpanet import site_weights
+from repro.topology.milnet import milnet_site_weights
+from repro.traffic import TrafficMatrix
+
+#: Traffic totals from Table 1 (b/s).
+MAY_1987_BPS = 366_260.0
+AUG_1987_BPS = 413_990.0
+
+#: Calibrated MILNET-like peak loads (see benchmarks/test_bench_milnet).
+MILNET_DSPF_BPS = 120_000.0
+MILNET_HNSPF_BPS = 136_000.0
+
+
+def _may87(config: ScenarioConfig):
+    network = build_arpanet_1987()
+    traffic = TrafficMatrix.gravity(
+        network, MAY_1987_BPS, weights=site_weights()
+    )
+    return NetworkSimulation(network, DelayMetric(), traffic, config)
+
+
+def _aug87(config: ScenarioConfig):
+    network = build_arpanet_1987()
+    traffic = TrafficMatrix.gravity(
+        network, AUG_1987_BPS, weights=site_weights()
+    )
+    return NetworkSimulation(
+        network, HopNormalizedMetric(), traffic, config
+    )
+
+
+def _arpanet_1969(config: ScenarioConfig):
+    network = build_arpanet_1987()
+    traffic = TrafficMatrix.gravity(
+        network, MAY_1987_BPS, weights=site_weights()
+    )
+    return BellmanFordSimulation(network, traffic, config)
+
+
+def _milnet_dspf(config: ScenarioConfig):
+    network = build_milnet_1987()
+    traffic = TrafficMatrix.gravity(
+        network, MILNET_DSPF_BPS, weights=milnet_site_weights()
+    )
+    return NetworkSimulation(network, DelayMetric(), traffic, config)
+
+
+def _milnet_hnspf(config: ScenarioConfig):
+    network = build_milnet_1987()
+    traffic = TrafficMatrix.gravity(
+        network, MILNET_HNSPF_BPS, weights=milnet_site_weights()
+    )
+    return NetworkSimulation(
+        network, HopNormalizedMetric(), traffic, config
+    )
+
+
+def _two_region_dspf(config: ScenarioConfig):
+    built = build_two_region_network(nodes_per_region=4)
+    traffic = TrafficMatrix.two_region(
+        built.west_ids, built.east_ids, inter_region_bps=90_000.0
+    )
+    return NetworkSimulation(built.network, DelayMetric(), traffic, config)
+
+
+def _two_region_hnspf(config: ScenarioConfig):
+    built = build_two_region_network(nodes_per_region=4)
+    traffic = TrafficMatrix.two_region(
+        built.west_ids, built.east_ids, inter_region_bps=90_000.0
+    )
+    return NetworkSimulation(
+        built.network, HopNormalizedMetric(), traffic, config
+    )
+
+
+_BUILDERS: Dict[str, Callable] = {
+    "may87": _may87,
+    "aug87": _aug87,
+    "arpanet-1969": _arpanet_1969,
+    "milnet-dspf": _milnet_dspf,
+    "milnet-hnspf": _milnet_hnspf,
+    "two-region-dspf": _two_region_dspf,
+    "two-region-hnspf": _two_region_hnspf,
+}
+
+
+def scenario_names() -> list:
+    """Names accepted by :func:`build_scenario`."""
+    return sorted(_BUILDERS)
+
+
+def build_scenario(
+    name: str,
+    duration_s: float = 300.0,
+    warmup_s: float = 60.0,
+    seed: int = 3,
+    config: Optional[ScenarioConfig] = None,
+):
+    """Build a ready-to-run simulation for a named scenario.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`scenario_names`.
+    duration_s, warmup_s, seed:
+        Run shape (ignored if an explicit ``config`` is given).
+    config:
+        Full configuration override.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+    if config is None:
+        config = ScenarioConfig(
+            duration_s=duration_s, warmup_s=warmup_s, seed=seed
+        )
+    return builder(config)

@@ -1,0 +1,58 @@
+"""Network topology model.
+
+The ARPANET consists of PSNs (packet switching nodes) joined by *links*:
+simplex communication media between two PSNs (the paper's terminology).  A
+full-duplex circuit is therefore modelled as two simplex links, one per
+direction, each carrying its own queue, its own measured delay and its own
+reported cost.
+
+Line types follow section 4 of the paper: each logical link is assigned one
+of up to eight line types based on the combined bandwidth of its trunks and
+whether the circuit is terrestrial or satellite.  The HN-SPF metric
+parameters are keyed by line type.
+
+Provided topologies:
+
+* :func:`~repro.topology.arpanet.build_arpanet_1987` -- a ~57-node
+  approximation of the July 1987 ARPANET (real site names, heterogeneous
+  trunking, rich in alternate paths),
+* :func:`~repro.topology.tworegion.build_two_region_network` -- the paper's
+  Figure-1 oscillation topology,
+* :mod:`repro.topology.generators` -- synthetic topology generators used by
+  tests and ablation studies.
+"""
+
+from repro.topology.graph import Link, Network, Node, TopologyError
+from repro.topology.linetypes import (
+    LINE_TYPES,
+    LineKind,
+    LineType,
+    line_type,
+)
+from repro.topology.arpanet import build_arpanet_1987
+from repro.topology.milnet import build_milnet_1987
+from repro.topology.tworegion import build_two_region_network
+from repro.topology.generators import (
+    build_grid_network,
+    build_random_network,
+    build_ring_network,
+    build_string_network,
+)
+
+__all__ = [
+    "LINE_TYPES",
+    "Link",
+    "LineKind",
+    "LineType",
+    "Network",
+    "Node",
+    "TopologyError",
+    "build_arpanet_1987",
+    "build_grid_network",
+    "build_milnet_1987",
+    "build_random_network",
+    "build_ring_network",
+    "build_string_network",
+    "build_two_region_network",
+    "line_type",
+]

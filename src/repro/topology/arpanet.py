@@ -1,0 +1,243 @@
+"""An ARPANET-like topology circa July 1987.
+
+The paper's equilibrium model and operational results use the July 1987
+ARPANET topology and peak-hour traffic matrix, which were never published.
+This module embeds an *approximation*: 57 PSNs carrying real ARPANET site
+names, laid out on rough geographic coordinates, joined by ~75 full-duplex
+circuits with heterogeneous trunking (9.6 and 56 kb/s, terrestrial and
+satellite, one dual-trunk line).  The paper itself notes its modelling
+technique "doesn't depend on the specifics of the topology and traffic
+used"; what matters -- and what this topology provides -- is that the graph
+is *rich with alternate paths* (Figure 7's premise) and heterogeneous
+(section 4.4's premise).
+
+Each node also carries a *traffic weight* (a proxy for host count) consumed
+by the gravity-model traffic matrix in :mod:`repro.traffic`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.topology.graph import Network
+from repro.topology.linetypes import line_type
+
+#: Signal propagation speed in long-haul cable, miles per second.
+_CABLE_MILES_PER_S = 125_000.0
+
+# (name, x, y, traffic weight).  Coordinates are in rough "miles" on a
+# west-to-east grid; they only feed propagation-delay estimates.
+_SITES: List[Tuple[str, float, float, float]] = [
+    # --- West coast: Bay Area cluster ---
+    ("SRI", 60, 700, 3.0),
+    ("LBL", 70, 720, 2.0),
+    ("AMES", 55, 680, 2.5),
+    ("MOFFETT", 50, 670, 0.5),
+    ("STANFORD", 58, 675, 2.5),
+    ("SUMEX", 59, 676, 0.5),
+    ("TYMSHARE", 57, 672, 0.5),
+    ("XEROX", 56, 678, 2.0),
+    ("NPS", 90, 600, 0.5),
+    # --- West coast: Southern California cluster ---
+    ("UCLA", 150, 350, 3.0),
+    ("ISI", 148, 340, 3.5),
+    ("USC", 149, 345, 2.0),
+    ("RAND", 147, 348, 0.75),
+    ("SDC", 146, 352, 0.5),
+    ("UCSB", 120, 400, 1.5),
+    ("NOSC", 170, 280, 1.5),
+    # --- Mountain / Southwest ---
+    ("UTAH", 500, 700, 2.0),
+    ("WSMR", 650, 350, 1.0),
+    ("AFWL", 640, 380, 1.0),
+    ("TEXAS", 950, 200, 2.0),
+    # --- Central / Midwest ---
+    ("GWC", 1100, 700, 1.5),
+    ("SAC", 1090, 690, 1.0),
+    ("COLLINS", 1150, 750, 1.0),
+    ("WISC", 1400, 780, 2.0),
+    ("ANL", 1480, 700, 1.5),
+    ("ILLINOIS", 1450, 640, 2.5),
+    ("PURDUE", 1500, 650, 1.5),
+    # --- South ---
+    ("GUNTER", 1700, 150, 1.0),
+    ("EGLIN", 1800, 100, 1.0),
+    # --- Ohio / Pennsylvania / upstate NY ---
+    ("WPAFB", 1950, 620, 1.5),
+    ("CASE", 2000, 700, 1.0),
+    ("CMU", 2100, 650, 3.0),
+    ("RADC", 2350, 800, 1.5),
+    ("CORNELL", 2300, 760, 1.5),
+    # --- Mid-Atlantic ---
+    ("YALE", 2500, 730, 1.5),
+    ("COLUMBIA", 2482, 692, 2.0),
+    ("NYU", 2480, 690, 2.0),
+    ("RUTGERS", 2460, 670, 1.5),
+    ("UPENN", 2430, 640, 1.5),
+    ("BRL", 2380, 590, 1.5),
+    # --- Washington DC cluster ---
+    ("NBS", 2360, 570, 1.5),
+    ("NSA", 2365, 565, 2.0),
+    ("MITRE", 2355, 560, 2.5),
+    ("DARPA", 2350, 555, 2.5),
+    ("PENTAGON", 2352, 557, 3.0),
+    ("BELVOIR", 2348, 550, 0.5),
+    ("NRL", 2354, 552, 0.5),
+    ("DCEC", 2349, 553, 0.5),
+    ("SDAC", 2347, 551, 0.5),
+    # --- New England cluster ---
+    ("BBN", 2600, 800, 4.0),
+    ("MIT", 2602, 802, 4.0),
+    ("CCA", 2601, 799, 0.5),
+    ("HARVARD", 2603, 801, 2.0),
+    ("LINCOLN", 2610, 810, 2.0),
+    ("DEC", 2590, 795, 2.0),
+    # --- Overseas / Pacific (satellite-only sites) ---
+    ("HAWAII", -2400, 100, 0.5),
+    ("LONDON", 5600, 900, 1.5),
+]
+
+# Full-duplex circuits: (site A, site B, line type name).  Satellite
+# circuits use the line type's nominal propagation delay; terrestrial
+# circuits derive theirs from the coordinate distance.
+_CIRCUITS: List[Tuple[str, str, str]] = [
+    # Bay Area ring + spurs
+    ("SRI", "LBL", "56K-T"),
+    ("LBL", "AMES", "56K-T"),
+    ("AMES", "SRI", "56K-T"),
+    ("SRI", "STANFORD", "56K-T"),
+    ("STANFORD", "SUMEX", "9.6K-T"),
+    ("SUMEX", "TYMSHARE", "9.6K-T"),
+    ("TYMSHARE", "XEROX", "9.6K-T"),
+    ("XEROX", "AMES", "56K-T"),
+    ("AMES", "MOFFETT", "9.6K-T"),
+    ("MOFFETT", "NPS", "9.6K-T"),
+    ("NPS", "UCSB", "56K-T"),
+    # Southern California ring
+    ("UCLA", "RAND", "9.6K-T"),
+    ("RAND", "SDC", "9.6K-T"),
+    ("SDC", "ISI", "56K-T"),
+    ("ISI", "USC", "56K-T"),
+    ("USC", "UCLA", "56K-T"),
+    ("UCLA", "UCSB", "56K-T"),
+    ("NOSC", "ISI", "56K-T"),
+    # California north-south backbones
+    ("UCSB", "SRI", "56K-T"),
+    ("SRI", "UCLA", "56K-T"),
+    # Mountain / Southwest
+    ("LBL", "UTAH", "56K-T"),
+    ("AFWL", "UTAH", "56K-T"),
+    ("WSMR", "AFWL", "56K-T"),
+    ("NOSC", "WSMR", "56K-T"),
+    ("WSMR", "TEXAS", "56K-T"),
+    # Central / Midwest mesh
+    ("UTAH", "GWC", "56K-T"),
+    ("UTAH", "ILLINOIS", "56K-T"),
+    ("GWC", "SAC", "56K-T"),
+    ("SAC", "TEXAS", "56K-T"),
+    ("GWC", "COLLINS", "56K-T"),
+    ("COLLINS", "WISC", "56K-T"),
+    ("WISC", "ANL", "56K-T"),
+    ("ANL", "ILLINOIS", "9.6K-T"),
+    ("ILLINOIS", "PURDUE", "56K-T"),
+    ("PURDUE", "WPAFB", "56K-T"),
+    # South
+    ("TEXAS", "GUNTER", "56K-T"),
+    ("GUNTER", "EGLIN", "56K-T"),
+    ("EGLIN", "PENTAGON", "56K-T"),
+    # Ohio valley to the east coast
+    ("WPAFB", "CASE", "56K-T"),
+    ("CASE", "CMU", "9.6K-T"),
+    ("CMU", "RADC", "56K-T"),
+    ("CMU", "WPAFB", "56K-T"),
+    ("ANL", "CMU", "56K-T"),
+    ("RADC", "CORNELL", "56K-T"),
+    ("CORNELL", "COLUMBIA", "56K-T"),
+    # New England cluster
+    ("RADC", "LINCOLN", "56K-T"),
+    ("LINCOLN", "MIT", "56K-T"),
+    ("MIT", "BBN", "2x56K-T"),
+    ("BBN", "HARVARD", "56K-T"),
+    ("HARVARD", "CCA", "9.6K-T"),
+    ("CCA", "MIT", "9.6K-T"),
+    ("BBN", "DEC", "56K-T"),
+    ("DEC", "YALE", "56K-T"),
+    ("CMU", "BBN", "56K-T"),
+    # Mid-Atlantic chain
+    ("YALE", "COLUMBIA", "9.6K-T"),
+    ("COLUMBIA", "NYU", "56K-T"),
+    ("NYU", "RUTGERS", "56K-T"),
+    ("RUTGERS", "UPENN", "56K-T"),
+    ("UPENN", "BRL", "56K-T"),
+    ("BRL", "NBS", "9.6K-T"),
+    ("NBS", "NSA", "56K-T"),
+    ("NSA", "MITRE", "56K-T"),
+    ("MITRE", "DARPA", "56K-T"),
+    ("YALE", "BBN", "56K-T"),
+    # Washington DC ring
+    ("MITRE", "PENTAGON", "56K-T"),
+    ("PENTAGON", "DARPA", "56K-T"),
+    ("DARPA", "NRL", "9.6K-T"),
+    ("NRL", "BELVOIR", "9.6K-T"),
+    ("BELVOIR", "DCEC", "9.6K-T"),
+    ("DCEC", "SDAC", "9.6K-T"),
+    ("SDAC", "MITRE", "9.6K-T"),
+    ("PENTAGON", "BRL", "56K-T"),
+    # Long-haul diversity: southern terrestrial + two satellite shortcuts
+    ("UCLA", "TEXAS", "56K-T"),
+    ("LINCOLN", "AMES", "56K-S"),
+    ("ISI", "PENTAGON", "56K-S"),
+    # Pacific and Atlantic satellite sites (dual-homed)
+    ("SRI", "HAWAII", "9.6K-S"),
+    ("NOSC", "HAWAII", "9.6K-S"),
+    ("NSA", "LONDON", "56K-S"),
+    ("BBN", "LONDON", "56K-S"),
+]
+
+
+def _terrestrial_propagation_s(
+    a: Tuple[float, float], b: Tuple[float, float]
+) -> float:
+    """Propagation delay from coordinate distance, floored at 0.5 ms."""
+    miles = math.dist(a, b)
+    return max(miles / _CABLE_MILES_PER_S, 0.0005)
+
+
+def site_weights() -> Dict[str, float]:
+    """Traffic weights per site name (gravity-model input)."""
+    return {name: weight for name, _x, _y, weight in _SITES}
+
+
+def site_coordinates() -> Dict[str, Tuple[float, float]]:
+    """Rough geographic coordinates per site name."""
+    return {name: (x, y) for name, x, y, _weight in _SITES}
+
+
+def build_arpanet_1987() -> Network:
+    """Build the ARPANET-like July 1987 topology.
+
+    Returns a validated, strongly connected :class:`~repro.topology.Network`
+    of 57 PSNs and 2 x ~79 simplex links.
+    """
+    network = Network(name="arpanet-1987")
+    coords: Dict[str, Tuple[float, float]] = {}
+    for name, x, y, _weight in _SITES:
+        network.add_node(name)
+        coords[name] = (x, y)
+
+    for a, b, type_name in _CIRCUITS:
+        lt = line_type(type_name)
+        if lt.is_satellite:
+            propagation = lt.default_propagation_s
+        else:
+            propagation = _terrestrial_propagation_s(coords[a], coords[b])
+        network.add_circuit(
+            network.node_by_name(a).node_id,
+            network.node_by_name(b).node_id,
+            lt,
+            propagation_s=propagation,
+        )
+
+    network.validate()
+    return network

@@ -1,0 +1,75 @@
+"""Human-readable topology descriptions.
+
+Used by the CLI (``python -m repro topology <name> --circuits``) and
+handy in notebooks: a circuit inventory with line types, propagation
+delays and per-node connectivity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Tuple
+
+from repro.report.tables import ascii_table
+from repro.topology.graph import Network
+
+
+def circuit_inventory(network: Network) -> List[Tuple]:
+    """One row per full-duplex circuit: endpoints, type, propagation.
+
+    Simplex-only links (no reverse) get their own rows marked simplex.
+    """
+    rows: List[Tuple] = []
+    seen = set()
+    for link in network.links:
+        if link.link_id in seen:
+            continue
+        seen.add(link.link_id)
+        kind = "simplex"
+        if link.reverse_id is not None:
+            seen.add(link.reverse_id)
+            kind = "duplex"
+        rows.append((
+            network.nodes[link.src].name,
+            network.nodes[link.dst].name,
+            link.line_type.name,
+            round(link.propagation_s * 1000.0, 2),
+            kind,
+            "up" if link.up else "DOWN",
+        ))
+    return rows
+
+
+def describe_network(network: Network, circuits: bool = False) -> str:
+    """A multi-section plain-text description of ``network``."""
+    sections = [repr(network)]
+
+    type_counts = Counter(link.line_type.name for link in network.links)
+    sections.append(ascii_table(
+        ["line type", "simplex links"],
+        sorted(type_counts.items()),
+        title="trunking mix",
+    ))
+
+    degree_rows = sorted(
+        (
+            (node.name, len(network.out_links(node.node_id)),
+             len(network.neighbors(node.node_id)))
+            for node in network
+        ),
+        key=lambda row: (-row[1], row[0]),
+    )
+    sections.append(ascii_table(
+        ["node", "out links", "neighbours"],
+        degree_rows[:10],
+        title="best-connected nodes",
+    ))
+
+    if circuits:
+        sections.append(ascii_table(
+            ["from", "to", "line type", "propagation (ms)", "kind",
+             "state"],
+            circuit_inventory(network),
+            title="circuit inventory",
+        ))
+    return "\n\n".join(sections)

@@ -1,0 +1,113 @@
+"""Line types.
+
+Section 4.1 of the paper: *"Each logical link between nodes is assigned a
+line-type based on the combined bandwidth of the trunks making up the link.
+Up to eight different line-types are allowed, each one corresponding to a
+variety of line configurations."*
+
+The standard registry below covers the configurations the paper discusses:
+9.6 kb/s and 56 kb/s circuits, terrestrial and satellite, plus multi-trunk
+(dual 56 kb/s) terrestrial lines.  Additional line types can be registered
+for experiments, subject to the hardware limit of eight.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.units import (
+    SATELLITE_PROPAGATION_S,
+    TERRESTRIAL_PROPAGATION_S,
+    kbps,
+)
+
+#: The PSN hardware supports at most eight line types.
+MAX_LINE_TYPES = 8
+
+
+class LineKind(enum.Enum):
+    """Physical kind of a circuit, which determines propagation delay."""
+
+    TERRESTRIAL = "terrestrial"
+    SATELLITE = "satellite"
+
+
+@dataclass(frozen=True)
+class LineType:
+    """A line configuration class shared by many links.
+
+    Parameters
+    ----------
+    name:
+        Registry key, e.g. ``"56K-T"``.
+    bandwidth_bps:
+        Combined bandwidth of the trunks making up the link.
+    kind:
+        Terrestrial or satellite.
+    trunk_count:
+        Number of parallel trunks aggregated into the logical link.
+    default_propagation_s:
+        Nominal one-way propagation delay for links of this type; individual
+        links may override it.
+    """
+
+    name: str
+    bandwidth_bps: float
+    kind: LineKind
+    trunk_count: int = 1
+    default_propagation_s: float = TERRESTRIAL_PROPAGATION_S
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive: {self.bandwidth_bps}")
+        if self.trunk_count < 1:
+            raise ValueError(f"trunk_count must be >= 1: {self.trunk_count}")
+        if self.default_propagation_s < 0:
+            raise ValueError(
+                f"propagation delay must be >= 0: {self.default_propagation_s}"
+            )
+
+    @property
+    def is_satellite(self) -> bool:
+        """Whether the circuit goes over a satellite hop."""
+        return self.kind is LineKind.SATELLITE
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _build_standard_registry() -> Dict[str, LineType]:
+    terrestrial = LineKind.TERRESTRIAL
+    satellite = LineKind.SATELLITE
+    types = [
+        LineType("9.6K-T", kbps(9.6), terrestrial),
+        LineType("9.6K-S", kbps(9.6), satellite,
+                 default_propagation_s=SATELLITE_PROPAGATION_S),
+        LineType("56K-T", kbps(56.0), terrestrial),
+        LineType("56K-S", kbps(56.0), satellite,
+                 default_propagation_s=SATELLITE_PROPAGATION_S),
+        LineType("2x56K-T", 2 * kbps(56.0), terrestrial, trunk_count=2),
+    ]
+    assert len(types) <= MAX_LINE_TYPES
+    return {lt.name: lt for lt in types}
+
+
+#: Standard line-type registry (ARPANET/MILNET configurations).
+LINE_TYPES: Dict[str, LineType] = _build_standard_registry()
+
+
+def line_type(name: str) -> LineType:
+    """Look up a standard line type by name.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names, if ``name`` is not registered.
+    """
+    try:
+        return LINE_TYPES[name]
+    except KeyError:
+        known = ", ".join(sorted(LINE_TYPES))
+        raise KeyError(f"unknown line type {name!r}; known: {known}") from None

@@ -1,0 +1,137 @@
+"""A MILNET-like topology (1987).
+
+The paper: *"it has been successfully deployed in several major
+networks, including the MILNET"*, and *"Both the ARPANET and MILNET have
+heterogeneous trunking.  Both use satellite and multi-trunk lines, while
+the MILNET also uses different link bandwidths."*
+
+The MILNET's exact 1987 map is unpublished; this module embeds a
+MILNET-*like* network with the properties section 4.4 relies on: a CONUS
+backbone of mixed 9.6/56 kb/s trunks around military installations, plus
+satellite tails to overseas theatres (Europe, Pacific), which is exactly
+where the satellite-vs-terrestrial normalization rules matter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.topology.graph import Network
+from repro.topology.linetypes import line_type
+
+_CABLE_MILES_PER_S = 125_000.0
+
+# (name, x, y, traffic weight); coordinates in rough miles.
+_SITES: List[Tuple[str, float, float, float]] = [
+    # --- West CONUS ---
+    ("MCCLELLAN", 80, 700, 2.0),
+    ("MONTEREY", 70, 620, 1.0),
+    ("LOSANGELES-AFB", 150, 350, 2.0),
+    ("SANDIEGO-NAVY", 170, 280, 2.0),
+    ("MCCHORD", 60, 950, 1.0),
+    ("HILL-AFB", 500, 700, 1.5),
+    ("KIRTLAND", 640, 380, 1.5),
+    # --- Central CONUS ---
+    ("OFFUTT", 1090, 690, 2.5),
+    ("TINKER", 1000, 400, 1.5),
+    ("KELLY", 950, 200, 2.0),
+    ("SCOTT", 1450, 580, 2.5),
+    ("WRIGHT-PATTERSON", 1950, 620, 2.0),
+    ("GUNTER-AFS", 1700, 150, 1.5),
+    # --- East CONUS ---
+    ("ROBINS", 1900, 250, 1.0),
+    ("NORFOLK-NAVY", 2380, 520, 2.0),
+    ("PENTAGON-MIL", 2352, 557, 3.0),
+    ("ANDREWS", 2360, 560, 2.0),
+    ("FTMEADE", 2365, 565, 2.5),
+    ("FTMONMOUTH", 2460, 670, 1.5),
+    ("HANSCOM", 2600, 800, 2.0),
+    ("GRIFFISS", 2350, 800, 1.5),
+    # --- Overseas (satellite tails) ---
+    ("CROUGHTON-UK", 5600, 900, 1.5),
+    ("RAMSTEIN-GE", 5900, 850, 1.5),
+    ("HICKAM-HI", -2400, 100, 1.0),
+    ("CLARK-PI", -5200, 0, 1.0),
+    ("YOKOTA-JP", -4600, 400, 1.0),
+]
+
+_CIRCUITS: List[Tuple[str, str, str]] = [
+    # West cluster
+    ("MCCLELLAN", "MONTEREY", "9.6K-T"),
+    ("MCCLELLAN", "MCCHORD", "56K-T"),
+    ("MCCLELLAN", "HILL-AFB", "56K-T"),
+    ("MONTEREY", "LOSANGELES-AFB", "56K-T"),
+    ("LOSANGELES-AFB", "SANDIEGO-NAVY", "9.6K-T"),
+    ("SANDIEGO-NAVY", "KIRTLAND", "56K-T"),
+    ("LOSANGELES-AFB", "KIRTLAND", "9.6K-T"),
+    ("MCCHORD", "HILL-AFB", "9.6K-T"),
+    # Mountain / central
+    ("HILL-AFB", "OFFUTT", "56K-T"),
+    ("KIRTLAND", "TINKER", "56K-T"),
+    ("TINKER", "KELLY", "9.6K-T"),
+    ("TINKER", "OFFUTT", "9.6K-T"),
+    ("KELLY", "GUNTER-AFS", "56K-T"),
+    ("OFFUTT", "SCOTT", "2x56K-T"),
+    ("SCOTT", "WRIGHT-PATTERSON", "56K-T"),
+    ("SCOTT", "GUNTER-AFS", "9.6K-T"),
+    # East
+    ("GUNTER-AFS", "ROBINS", "9.6K-T"),
+    ("ROBINS", "NORFOLK-NAVY", "56K-T"),
+    ("WRIGHT-PATTERSON", "GRIFFISS", "56K-T"),
+    ("WRIGHT-PATTERSON", "PENTAGON-MIL", "56K-T"),
+    ("NORFOLK-NAVY", "PENTAGON-MIL", "56K-T"),
+    ("PENTAGON-MIL", "ANDREWS", "9.6K-T"),
+    ("ANDREWS", "FTMEADE", "9.6K-T"),
+    ("PENTAGON-MIL", "FTMEADE", "56K-T"),
+    ("FTMEADE", "FTMONMOUTH", "56K-T"),
+    ("FTMONMOUTH", "HANSCOM", "56K-T"),
+    ("GRIFFISS", "HANSCOM", "56K-T"),
+    ("GRIFFISS", "FTMONMOUTH", "9.6K-T"),
+    # Transcontinental diversity
+    ("KELLY", "LOSANGELES-AFB", "56K-T"),
+    ("OFFUTT", "MCCLELLAN", "56K-S"),
+    ("PENTAGON-MIL", "SANDIEGO-NAVY", "56K-S"),
+    # Overseas satellite tails (dual-homed)
+    ("FTMEADE", "CROUGHTON-UK", "56K-S"),
+    ("HANSCOM", "CROUGHTON-UK", "9.6K-S"),
+    ("CROUGHTON-UK", "RAMSTEIN-GE", "9.6K-T"),
+    ("FTMEADE", "RAMSTEIN-GE", "9.6K-S"),
+    ("MCCLELLAN", "HICKAM-HI", "56K-S"),
+    ("SANDIEGO-NAVY", "HICKAM-HI", "9.6K-S"),
+    ("HICKAM-HI", "CLARK-PI", "9.6K-S"),
+    ("HICKAM-HI", "YOKOTA-JP", "9.6K-S"),
+    ("YOKOTA-JP", "CLARK-PI", "9.6K-T"),
+]
+
+
+def _propagation_s(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    return max(math.dist(a, b) / _CABLE_MILES_PER_S, 0.0005)
+
+
+def milnet_site_weights() -> Dict[str, float]:
+    """Traffic weights per MILNET site."""
+    return {name: weight for name, _x, _y, weight in _SITES}
+
+
+def build_milnet_1987() -> Network:
+    """Build the MILNET-like topology (26 nodes, ~41 circuits)."""
+    network = Network(name="milnet-1987")
+    coords: Dict[str, Tuple[float, float]] = {}
+    for name, x, y, _weight in _SITES:
+        network.add_node(name)
+        coords[name] = (x, y)
+    for a, b, type_name in _CIRCUITS:
+        lt = line_type(type_name)
+        if lt.is_satellite:
+            propagation = lt.default_propagation_s
+        else:
+            propagation = _propagation_s(coords[a], coords[b])
+        network.add_circuit(
+            network.node_by_name(a).node_id,
+            network.node_by_name(b).node_id,
+            lt,
+            propagation_s=propagation,
+        )
+    network.validate()
+    return network

@@ -1,0 +1,86 @@
+"""The paper's Figure-1 two-region oscillation topology.
+
+Two regions of PSNs are connected by exactly two circuits, A and B, *"with
+the same propagation delay and bandwidth"*.  All inter-region routes must
+use one of them -- the canonical setup for D-SPF's routing oscillation: all
+traffic piles onto one bridge, its reported delay spikes, every node
+re-routes simultaneously, and the bridges alternate instead of cooperating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.topology.graph import Link, Network
+from repro.topology.linetypes import LineType, line_type
+
+
+@dataclass(frozen=True)
+class TwoRegionNetwork:
+    """The built network plus bookkeeping for the experiment harness."""
+
+    network: Network
+    west_ids: Tuple[int, ...]
+    east_ids: Tuple[int, ...]
+    #: The two inter-region circuits, as (forward link, backward link).
+    bridge_a: Tuple[Link, Link]
+    bridge_b: Tuple[Link, Link]
+
+
+def build_two_region_network(
+    nodes_per_region: int = 4,
+    region_line: LineType = None,
+    bridge_line: LineType = None,
+) -> TwoRegionNetwork:
+    """Build Figure 1's topology.
+
+    Each region is a fully meshed cluster of ``nodes_per_region`` PSNs on
+    fast intra-region circuits; the regions are joined by two identical
+    bridge circuits A (between the first node of each region) and B
+    (between the second node of each region).
+
+    Parameters
+    ----------
+    nodes_per_region:
+        PSNs per region (>= 2, so that both bridges have distinct anchors).
+    region_line:
+        Line type inside a region (default dual-trunk 56 kb/s, so the
+        bridges are the bottleneck).
+    bridge_line:
+        Line type of the A and B bridges (default 56 kb/s terrestrial).
+    """
+    if nodes_per_region < 2:
+        raise ValueError("need at least 2 nodes per region")
+    region_line = region_line or line_type("2x56K-T")
+    bridge_line = bridge_line or line_type("56K-T")
+
+    network = Network(name="two-region")
+    west: List[int] = []
+    east: List[int] = []
+    for i in range(nodes_per_region):
+        west.append(network.add_node(f"W{i}").node_id)
+    for i in range(nodes_per_region):
+        east.append(network.add_node(f"E{i}").node_id)
+
+    for region in (west, east):
+        for i, a in enumerate(region):
+            for b in region[i + 1:]:
+                network.add_circuit(a, b, region_line, propagation_s=0.001)
+
+    bridge_a = network.add_circuit(
+        west[0], east[0], bridge_line,
+        propagation_s=bridge_line.default_propagation_s,
+    )
+    bridge_b = network.add_circuit(
+        west[1], east[1], bridge_line,
+        propagation_s=bridge_line.default_propagation_s,
+    )
+    network.validate()
+    return TwoRegionNetwork(
+        network=network,
+        west_ids=tuple(west),
+        east_ids=tuple(east),
+        bridge_a=bridge_a,
+        bridge_b=bridge_b,
+    )

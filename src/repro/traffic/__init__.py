@@ -1,0 +1,13 @@
+"""Traffic matrices and packet sources.
+
+A :class:`~repro.traffic.matrix.TrafficMatrix` assigns an offered load in
+bits/second to each ordered PSN pair; :mod:`repro.traffic.sources` turns
+each demand into a Poisson packet stream inside the DES.  The gravity
+model (demand proportional to the product of site weights) stands in for
+the unpublished ARPANET peak-hour matrix.
+"""
+
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.sources import PoissonSource, start_sources
+
+__all__ = ["PoissonSource", "TrafficMatrix", "start_sources"]

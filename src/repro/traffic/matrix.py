@@ -1,0 +1,156 @@
+"""Traffic matrices.
+
+The paper's equilibrium model and performance study both run against the
+ARPANET's *peak hour traffic matrix*.  That matrix was never published, so
+we generate synthetic ones; the gravity model is the standard choice for
+site-to-site traffic and the embedded topology carries per-site weights
+for it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.topology.graph import Network
+
+Demand = Tuple[int, int]
+
+
+class TrafficMatrix:
+    """Offered load in bits/second per ordered (src, dst) PSN pair."""
+
+    def __init__(self, demands: Mapping[Demand, float]) -> None:
+        for (src, dst), bps in demands.items():
+            if src == dst:
+                raise ValueError(f"self-demand at node {src}")
+            if bps < 0:
+                raise ValueError(f"negative demand for {(src, dst)}: {bps}")
+        self.demands: Dict[Demand, float] = {
+            pair: bps for pair, bps in demands.items() if bps > 0
+        }
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def gravity(
+        cls,
+        network: Network,
+        total_bps: float,
+        weights: Optional[Mapping[str, float]] = None,
+    ) -> "TrafficMatrix":
+        """Gravity model: demand(i,j) proportional to weight_i * weight_j.
+
+        Parameters
+        ----------
+        network:
+            Topology whose nodes the matrix covers.
+        total_bps:
+            Network-wide internode traffic (the paper reports 366 kb/s in
+            May 1987 and 414 kb/s in August 1987).
+        weights:
+            Per-site weights by node name; defaults to 1.0 everywhere.
+        """
+        if total_bps < 0:
+            raise ValueError(f"total must be >= 0, got {total_bps}")
+        weights = weights or {}
+        node_weight = {
+            node.node_id: float(weights.get(node.name, 1.0))
+            for node in network
+        }
+        mass = sum(
+            node_weight[i] * node_weight[j]
+            for i in node_weight
+            for j in node_weight
+            if i != j
+        )
+        demands: Dict[Demand, float] = {}
+        if mass > 0:
+            for i in node_weight:
+                for j in node_weight:
+                    if i != j:
+                        share = node_weight[i] * node_weight[j] / mass
+                        demands[(i, j)] = total_bps * share
+        return cls(demands)
+
+    @classmethod
+    def uniform(cls, network: Network, total_bps: float) -> "TrafficMatrix":
+        """Equal demand between every ordered pair."""
+        return cls.gravity(network, total_bps, weights=None)
+
+    @classmethod
+    def hot_pairs(
+        cls, pairs: Mapping[Demand, float]
+    ) -> "TrafficMatrix":
+        """A matrix of a few explicit large flows (section 4.5's hard
+        case for single-path routing)."""
+        return cls(pairs)
+
+    @classmethod
+    def two_region(
+        cls,
+        west_ids,
+        east_ids,
+        inter_region_bps: float,
+        intra_region_bps: float = 0.0,
+    ) -> "TrafficMatrix":
+        """The Figure-1 workload: traffic between two regions.
+
+        The inter-region load is spread uniformly over all west-east and
+        east-west pairs; optional intra-region background load is spread
+        uniformly within each region.
+        """
+        demands: Dict[Demand, float] = {}
+        cross = [(w, e) for w in west_ids for e in east_ids]
+        cross += [(e, w) for w in west_ids for e in east_ids]
+        for pair in cross:
+            demands[pair] = inter_region_bps / len(cross)
+        if intra_region_bps > 0:
+            within = [
+                (a, b)
+                for region in (west_ids, east_ids)
+                for a in region
+                for b in region
+                if a != b
+            ]
+            for pair in within:
+                demands[pair] = demands.get(pair, 0.0) + \
+                    intra_region_bps / len(within)
+        return cls(demands)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def total_bps(self) -> float:
+        """Network-wide offered load."""
+        return sum(self.demands.values())
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy with every demand multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return TrafficMatrix(
+            {pair: bps * factor for pair, bps in self.demands.items()}
+        )
+
+    def filtered(self, predicate: Callable[[int, int], bool]) -> "TrafficMatrix":
+        """A copy keeping only pairs for which ``predicate(src, dst)``."""
+        return TrafficMatrix(
+            {
+                (src, dst): bps
+                for (src, dst), bps in self.demands.items()
+                if predicate(src, dst)
+            }
+        )
+
+    def __iter__(self) -> Iterator[Tuple[Demand, float]]:
+        return iter(sorted(self.demands.items()))
+
+    def __len__(self) -> int:
+        return len(self.demands)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TrafficMatrix {len(self.demands)} flows, "
+            f"{self.total_bps() / 1000.0:.1f} kb/s total>"
+        )

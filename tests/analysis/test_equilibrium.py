@@ -1,0 +1,99 @@
+"""Tests for equilibrium calculation (Figures 9 and 10)."""
+
+import pytest
+
+from repro.analysis import (
+    build_response_map,
+    equilibrium_point,
+    equilibrium_utilization_curve,
+    reference_link,
+)
+from repro.analysis.equilibrium import ideal_utilization, loop_function
+from repro.metrics import DelayMetric, HopNormalizedMetric, MinHopMetric
+from repro.topology import build_arpanet_1987
+from repro.topology.arpanet import site_weights
+from repro.traffic import TrafficMatrix
+
+
+@pytest.fixture(scope="module")
+def rmap():
+    net = build_arpanet_1987()
+    traffic = TrafficMatrix.gravity(net, 366_000.0, weights=site_weights())
+    return build_response_map(net, traffic)
+
+
+@pytest.fixture(scope="module")
+def link():
+    return reference_link("56K-T", propagation_s=0.001)
+
+
+def test_fixed_point_property(rmap, link):
+    """The returned point really is a fixed point of the loop map."""
+    metric = HopNormalizedMetric()
+    for load in (0.5, 1.0, 2.0):
+        point = equilibrium_point(metric, link, rmap, load)
+        step = loop_function(metric, link, rmap, load)
+        assert step(point.reported_cost_hops) == pytest.approx(
+            point.reported_cost_hops, abs=0.01
+        )
+
+
+def test_minhop_equilibrium_is_offered_load(rmap, link):
+    metric = MinHopMetric()
+    for load in (0.3, 0.8, 1.0, 2.5):
+        point = equilibrium_point(metric, link, rmap, load)
+        assert point.utilization == pytest.approx(min(load, 1.0))
+
+
+def test_hnspf_tracks_minhop_until_50_percent(rmap, link):
+    """Paper: 'it acts like min-hop until the link utilization exceeds
+    50% and then starts shedding traffic'."""
+    metric = HopNormalizedMetric()
+    for load in (0.2, 0.35, 0.5):
+        point = equilibrium_point(metric, link, rmap, load)
+        assert point.utilization == pytest.approx(load, abs=0.02)
+    above = equilibrium_point(metric, link, rmap, 1.5)
+    assert above.utilization < 1.0
+
+
+def test_hnspf_sustains_higher_utilization_than_dspf(rmap, link):
+    """The paper's Figure-10 punchline, 'especially under high loads'."""
+    for load in (0.75, 1.0, 1.5, 2.0, 4.0):
+        hn = equilibrium_point(HopNormalizedMetric(), link, rmap, load)
+        d = equilibrium_point(DelayMetric(), link, rmap, load)
+        assert hn.utilization > d.utilization, load
+
+
+def test_all_metrics_below_ideal(rmap, link):
+    for load in (0.5, 1.0, 2.0):
+        ideal = ideal_utilization(load)
+        for metric in (MinHopMetric(), DelayMetric(), HopNormalizedMetric()):
+            point = equilibrium_point(metric, link, rmap, load)
+            assert point.utilization <= ideal + 1e-9
+
+
+def test_equilibrium_monotone_in_offered_load(rmap, link):
+    metric = HopNormalizedMetric()
+    curve = equilibrium_utilization_curve(
+        metric, link, rmap, [0.25, 0.5, 1.0, 2.0, 4.0]
+    )
+    utilizations = [p.utilization for p in curve]
+    assert utilizations == sorted(utilizations)
+
+
+def test_zero_load_reports_idle_cost(rmap, link):
+    metric = HopNormalizedMetric()
+    point = equilibrium_point(metric, link, rmap, 0.0)
+    assert point.utilization == 0.0
+    assert point.reported_cost_hops == pytest.approx(1.0)
+
+
+def test_negative_load_rejected(rmap, link):
+    with pytest.raises(ValueError):
+        loop_function(HopNormalizedMetric(), link, rmap, -0.5)
+
+
+def test_hnspf_cost_capped_at_three_hops(rmap, link):
+    metric = HopNormalizedMetric()
+    point = equilibrium_point(metric, link, rmap, 10.0)
+    assert point.reported_cost_hops <= 3.0 + 1e-9

@@ -1,0 +1,63 @@
+"""Property tests for the fluid model: conservation and bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import FluidNetworkModel
+from repro.metrics import HopNormalizedMetric, MinHopMetric
+from repro.topology import build_random_network
+from repro.traffic import TrafficMatrix
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100),
+    n=st.integers(min_value=3, max_value=10),
+    extra=st.integers(min_value=1, max_value=8),
+    total=st.floats(min_value=1_000.0, max_value=500_000.0),
+)
+def test_property_load_conservation(seed, n, extra, total):
+    """Total link load equals sum over demands of demand * path length
+    (every bit of demand appears on exactly its path's links)."""
+    net = build_random_network(n, extra_circuits=extra, seed=seed)
+    traffic = TrafficMatrix.uniform(net, total)
+    model = FluidNetworkModel(net, MinHopMetric(), traffic)
+    load = model.route_demands()
+    expected = 0.0
+    for (src, dst), bps in traffic.demands.items():
+        hops = len(model._trees[src].path_links(dst))
+        expected += bps * hops
+    assert sum(load.values()) == pytest.approx(expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    rounds=st.integers(min_value=1, max_value=10),
+)
+def test_property_round_aggregates_bounded(seed, rounds):
+    net = build_random_network(6, extra_circuits=4, seed=seed)
+    traffic = TrafficMatrix.uniform(net, 100_000.0)
+    model = FluidNetworkModel(net, HopNormalizedMetric(), traffic)
+    trace = model.run(rounds=rounds)
+    for r in trace.rounds:
+        assert 0.0 <= r.mean_utilization <= 1.0
+        assert r.mean_utilization <= r.max_utilization <= 1.0
+        assert 0.0 <= r.churn <= 1.0
+        assert r.overload_bps >= 0.0
+        assert 22.0 <= r.mean_cost <= 255.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50))
+def test_property_hnspf_costs_within_line_bounds(seed):
+    """After any number of rounds every cost respects its line type's
+    [min, max] (the fluid loop cannot push the metric out of bounds)."""
+    net = build_random_network(7, extra_circuits=5, seed=seed)
+    traffic = TrafficMatrix.uniform(net, 200_000.0)
+    model = FluidNetworkModel(net, HopNormalizedMetric(), traffic)
+    model.run(rounds=12)
+    for link in net.links:
+        cost = model.costs[link.link_id]
+        assert 30.0 <= cost <= 90.0  # all 56K-T in generated nets

@@ -1,0 +1,70 @@
+"""Golden regression values for the deterministic analysis pipeline.
+
+The response map and shedding statistics are pure functions of the
+embedded topology and gravity matrix: any change to their exact values
+means either the topology, the matrix, or the analysis algorithms
+changed.  These tests pin the current values so such changes are always
+deliberate (update the constants here together with EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.analysis import shed_cost_by_length
+from repro.experiments.base import arpanet_response_map
+from repro.topology import build_arpanet_1987
+
+GOLDEN_RESPONSE = {
+    0.5: 1.0,
+    1.0: 1.0,
+    1.5: 0.58826,
+    2.5: 0.220802,
+    3.5: 0.112355,
+    4.5: 0.04039,
+    5.5: 0.011773,
+    6.5: 0.004867,
+    7.5: 0.001705,
+    8.5: 0.001011,
+}
+
+GOLDEN_SHED_ALL_MEANS = {
+    1: 4.468354,
+    2: 3.936709,
+    3: 3.772152,
+    4: 3.582278,
+    5: 3.392405,
+    6: 3.166667,
+    7: 2.641026,
+    8: 2.065789,
+    9: 1.542373,
+    10: 1.24,
+}
+
+GOLDEN_ROUTE_COUNTS = {
+    1: 158, 2: 632, 3: 1634, 4: 2526, 5: 3546,
+    6: 4258, 7: 3822, 8: 1718, 9: 518, 10: 76,
+}
+
+
+def test_response_map_golden():
+    rmap = arpanet_response_map()
+    values = dict(zip(rmap.reported_costs, rmap.normalized_traffic))
+    for cost, expected in GOLDEN_RESPONSE.items():
+        assert values[cost] == pytest.approx(expected, abs=1e-5), cost
+    # The staircase: integer points equal the preceding half point.
+    for cost in (2.0, 3.0, 4.0):
+        assert values[cost] == pytest.approx(values[cost - 0.5])
+
+
+def test_shedding_golden():
+    stats = shed_cost_by_length(build_arpanet_1987())
+    assert stats.lengths() == sorted(GOLDEN_SHED_ALL_MEANS)
+    for length, expected in GOLDEN_SHED_ALL_MEANS.items():
+        assert stats.shed_all_mean(length) == \
+            pytest.approx(expected, abs=1e-5), length
+    for length, expected in GOLDEN_ROUTE_COUNTS.items():
+        assert len(stats.by_length[length]) == expected, length
+
+
+def test_route_population_total():
+    """Every (link, route) pair with a finite shed cost, by count."""
+    assert sum(GOLDEN_ROUTE_COUNTS.values()) == 18_888

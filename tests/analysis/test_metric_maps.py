@@ -1,0 +1,79 @@
+"""Tests for metric maps (Figures 4 and 5)."""
+
+import pytest
+
+from repro.analysis import metric_map, normalized_metric_map, reference_link
+from repro.analysis.metric_maps import utilization_grid
+from repro.metrics import DelayMetric, HopNormalizedMetric
+
+
+def test_reference_link_types():
+    link = reference_link("9.6K-S")
+    assert link.line_type.name == "9.6K-S"
+    assert link.propagation_s > 0.2
+
+
+def test_utilization_grid():
+    grid = utilization_grid(5, top=1.0)
+    assert grid == [0.0, 0.25, 0.5, 0.75, 1.0]
+    with pytest.raises(ValueError):
+        utilization_grid(1)
+    with pytest.raises(ValueError):
+        utilization_grid(10, top=0.0)
+
+
+def test_fig4_normalization_starts_at_one():
+    """Both normalized curves start at 1.0 (idle / idle)."""
+    link = reference_link("56K-T", propagation_s=0.001)
+    grid = [0.0, 0.5, 0.9]
+    for metric in (DelayMetric(), HopNormalizedMetric()):
+        curve = normalized_metric_map(metric, link, grid)
+        assert curve[0][1] == pytest.approx(1.0)
+
+
+def test_fig4_dspf_steeper_than_hnspf_at_high_utilization():
+    """The paper's Figure-4 punchline."""
+    link = reference_link("56K-T", propagation_s=0.001)
+    grid = [0.95]
+    dspf = normalized_metric_map(DelayMetric(), link, grid)[0][1]
+    hnspf = normalized_metric_map(HopNormalizedMetric(), link, grid)[0][1]
+    assert hnspf <= 3.0  # bounded at max/min = 90/30
+    assert dspf > 2 * hnspf
+
+
+def test_fig4_hnspf_satellite_flatter_relative_shape():
+    """Satellite starts at 2x relative cost and converges to the same
+    maximum as terrestrial."""
+    t_link = reference_link("56K-T")
+    s_link = reference_link("56K-S")
+    metric = HopNormalizedMetric()
+    t_curve = dict(metric_map(metric, t_link, [0.0, 0.99]))
+    s_curve = dict(metric_map(metric, s_link, [0.0, 0.99]))
+    assert s_curve[0.0] == pytest.approx(2 * t_curve[0.0])
+    assert s_curve[0.99] == pytest.approx(t_curve[0.99], rel=0.05)
+
+
+def test_fig5_ordering_at_low_utilization():
+    """Idle costs: 56K-T < 56K-S < 9.6K-T < 9.6K-S (Figure 5)."""
+    metric = HopNormalizedMetric()
+    idle = {
+        name: metric.cost_at_utilization(reference_link(name), 0.0)
+        for name in ("56K-T", "56K-S", "9.6K-T", "9.6K-S")
+    }
+    assert idle["56K-T"] < idle["56K-S"] < idle["9.6K-T"] < idle["9.6K-S"]
+
+
+def test_fig5_full_96_vs_idle_56_about_7x():
+    metric = HopNormalizedMetric()
+    full_96 = metric.cost_at_utilization(reference_link("9.6K-T"), 1.0)
+    idle_56 = metric.cost_at_utilization(reference_link("56K-T"), 0.0)
+    assert full_96 / idle_56 == pytest.approx(7.0, abs=0.5)
+
+
+def test_fig5_curves_monotone():
+    metric = HopNormalizedMetric()
+    for name in ("56K-T", "56K-S", "9.6K-T", "9.6K-S"):
+        link = reference_link(name)
+        curve = metric_map(metric, link, utilization_grid(30))
+        costs = [c for _u, c in curve]
+        assert costs == sorted(costs), name

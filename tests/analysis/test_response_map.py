@@ -1,0 +1,106 @@
+"""Tests for the Network Response Map (Figure 8)."""
+
+import pytest
+
+from repro.analysis import build_response_map
+from repro.analysis.response_map import half_hop_grid
+from repro.topology import build_arpanet_1987, build_ring_network
+from repro.topology.arpanet import site_weights
+from repro.traffic import TrafficMatrix
+
+
+def test_half_hop_grid():
+    assert half_hop_grid(2.0) == [0.5, 1.0, 1.5, 2.0]
+    with pytest.raises(ValueError):
+        half_hop_grid(0.5)
+
+
+@pytest.fixture(scope="module")
+def arpanet_map():
+    net = build_arpanet_1987()
+    traffic = TrafficMatrix.gravity(net, 366_000.0, weights=site_weights())
+    return net, traffic, build_response_map(net, traffic)
+
+
+def test_normalized_to_one_at_base(arpanet_map):
+    _net, _traffic, rmap = arpanet_map
+    index = rmap.reported_costs.index(1.0)
+    assert rmap.normalized_traffic[index] == pytest.approx(1.0)
+
+
+def test_monotone_decreasing(arpanet_map):
+    _net, _traffic, rmap = arpanet_map
+    values = rmap.normalized_traffic
+    for earlier, later in zip(values, values[1:]):
+        assert later <= earlier + 1e-12
+
+
+def test_90_percent_shed_at_cost_four(arpanet_map):
+    """Paper: 'If the link reports a cost of 4, then over 90% of its base
+    traffic will be shed.'"""
+    _net, _traffic, rmap = arpanet_map
+    assert rmap.traffic_fraction(4.0) < 0.2
+    assert rmap.traffic_fraction(4.5) < 0.1
+
+
+def test_epsilon_problem_cliff(arpanet_map):
+    """A tiny cost change across the x=1 tie boundary sheds a large
+    fraction of traffic (the paper's x=0.5 vs x=1.5 comparison)."""
+    _net, _traffic, rmap = arpanet_map
+    at_half = rmap.traffic_fraction(0.5)
+    at_one_and_half = rmap.traffic_fraction(1.5)
+    assert at_half - at_one_and_half > 0.25
+
+
+def test_interpolation_and_extrapolation(arpanet_map):
+    _net, _traffic, rmap = arpanet_map
+    below = rmap.traffic_fraction(0.1)
+    assert below == rmap.normalized_traffic[0]
+    beyond = rmap.traffic_fraction(50.0)
+    assert beyond == rmap.normalized_traffic[-1]
+    # Interpolation lies between neighbours.
+    mid = rmap.traffic_fraction(1.25)
+    lo = rmap.traffic_fraction(1.5)
+    hi = rmap.traffic_fraction(1.0)
+    assert lo <= mid <= hi
+
+
+def test_all_links_have_base_traffic_on_arpanet(arpanet_map):
+    net, _traffic, rmap = arpanet_map
+    assert rmap.links_averaged == len(net.links)
+    assert all(bps > 0 for bps in rmap.base_traffic_bps.values())
+
+
+def test_mean_base_utilization_positive(arpanet_map):
+    net, _traffic, rmap = arpanet_map
+    base = rmap.mean_base_utilization(net)
+    assert 0.0 < base < 1.0
+
+
+def test_ring_response_steps_at_shed_costs():
+    """On a 6-ring with uniform traffic the response drops exactly after
+    each integer shed threshold."""
+    net = build_ring_network(6)
+    traffic = TrafficMatrix.uniform(net, 60_000.0)
+    rmap = build_response_map(net, traffic)
+    value = dict(zip(rmap.reported_costs, rmap.normalized_traffic))
+    assert value[1.0] == pytest.approx(1.0)
+    assert value[1.5] == pytest.approx(value[2.0])
+    assert value[5.5] == pytest.approx(0.0)  # 5 is the largest shed cost
+
+
+def test_restricting_to_subset_of_links():
+    net = build_ring_network(6)
+    traffic = TrafficMatrix.uniform(net, 60_000.0)
+    rmap = build_response_map(net, traffic, link_ids=[0, 2])
+    assert set(rmap.base_traffic_bps) == {0, 2}
+
+
+def test_no_base_traffic_raises():
+    net = build_ring_network(4)
+    traffic = TrafficMatrix({(0, 1): 1000.0})
+    # Links that never carry 0->1 traffic have zero base: restricting to
+    # one of them must raise.
+    backward = net.links_between(3, 2)[0].link_id
+    with pytest.raises(ValueError):
+        build_response_map(net, traffic, link_ids=[backward])

@@ -1,0 +1,79 @@
+"""Tests for the HN-SPF parameter-sensitivity sweeps."""
+
+import pytest
+
+from repro.analysis import sweep_parameter
+from repro.experiments.base import (
+    arpanet_response_map,
+    equilibrium_reference_link,
+)
+from repro.metrics.params import DEFAULT_HNSPF_PARAMS
+
+
+@pytest.fixture(scope="module")
+def setting():
+    return (
+        DEFAULT_HNSPF_PARAMS["56K-T"],
+        equilibrium_reference_link(),
+        arpanet_response_map(),
+    )
+
+
+def test_higher_cap_sheds_more(setting):
+    """Raising max_cost slides the metric toward D-SPF: more shedding,
+    lower equilibrium utilization at overload."""
+    base, link, rmap = setting
+    points = sweep_parameter(base, "max_cost", [90, 150, 255],
+                             link, rmap, offered_load=2.0)
+    utilizations = [p.equilibrium_utilization for p in points]
+    assert utilizations == sorted(utilizations, reverse=True)
+
+
+def test_higher_threshold_holds_more_traffic(setting):
+    base, link, rmap = setting
+    points = sweep_parameter(
+        base, "utilization_threshold", [0.0, 0.25, 0.5, 0.75],
+        link, rmap, offered_load=2.0,
+    )
+    utilizations = [p.equilibrium_utilization for p in points]
+    assert utilizations == sorted(utilizations)
+
+
+def test_larger_steps_wider_oscillation(setting):
+    """max_up trades convergence speed for oscillation amplitude; the
+    equilibrium itself does not move."""
+    base, link, rmap = setting
+    points = sweep_parameter(base, "max_up", [5, 17, 45],
+                             link, rmap, offered_load=2.0)
+    amplitudes = [p.oscillation_amplitude_hops for p in points]
+    assert amplitudes[0] < amplitudes[-1]
+    utilizations = {round(p.equilibrium_utilization, 2) for p in points}
+    assert len(utilizations) == 1
+
+
+def test_max_up_keeps_march_asymmetry(setting):
+    """The sweep must produce valid parameter sets: max_down tracks."""
+    from repro.analysis.sensitivity import _vary
+
+    base, _link, _rmap = setting
+    varied = _vary(base, "max_up", 25)
+    assert varied.max_up == 25
+    assert varied.max_down == 24
+
+
+def test_line_type_mismatch_rejected(setting):
+    base, _link, rmap = setting
+    from repro.analysis import reference_link
+
+    satellite = reference_link("56K-S")
+    with pytest.raises(ValueError, match="56K-S"):
+        sweep_parameter(base, "max_cost", [90], satellite, rmap, 1.0)
+
+
+def test_points_carry_all_fields(setting):
+    base, link, rmap = setting
+    (point,) = sweep_parameter(base, "max_cost", [90], link, rmap, 1.0)
+    assert point.value == 90.0
+    assert 0.0 < point.equilibrium_utilization <= 1.0
+    assert 1.0 <= point.equilibrium_cost_hops <= 3.0
+    assert point.oscillation_amplitude_hops >= 0.0

@@ -1,0 +1,118 @@
+"""Tests for route-shedding statistics (Figure 7)."""
+
+import pytest
+
+from repro.analysis import shed_cost_by_length
+from repro.analysis.shedding import (
+    hop_distances_without_link,
+    routes_over_link,
+)
+from repro.topology import (
+    build_arpanet_1987,
+    build_ring_network,
+    build_string_network,
+)
+from repro.traffic import TrafficMatrix
+
+
+def test_hop_distances_bfs():
+    net = build_string_network(4)
+    dist = hop_distances_without_link(net, None, 0)
+    assert dist == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+
+
+def test_hop_distances_excluding_link():
+    net = build_ring_network(4)
+    forward = net.links_between(0, 1)[0].link_id
+    dist = hop_distances_without_link(net, forward, 0)
+    assert dist[1] == 3.0  # the long way round
+
+
+def test_ring_shed_costs_are_detour_slack():
+    """On a 6-ring, the 1-hop route over a link has a 5-hop alternative:
+    shed cost = 5 - 0 - 0 = 5."""
+    net = build_ring_network(6)
+    link = net.links_between(0, 1)[0]
+    routes = routes_over_link(net, link.link_id)
+    one_hop = [r for r in routes if r.src == 0 and r.dst == 1]
+    assert len(one_hop) == 1
+    assert one_hop[0].length == 1
+    assert one_hop[0].shed_cost == 5.0
+
+
+def test_longer_routes_shed_earlier_on_ring():
+    net = build_ring_network(6)
+    link = net.links_between(0, 1)[0]
+    routes = routes_over_link(net, link.link_id)
+    by_pair = {(r.src, r.dst): r for r in routes}
+    # 0->2 uses the link (2 hops), alternative is 4 hops: shed at 3.
+    assert by_pair[(0, 2)].shed_cost == 3.0
+    # 0->3 ties with the other way (3 vs 3) -> tie in favor: shed at 1.
+    assert by_pair[(0, 3)].shed_cost == 1.0
+
+
+def test_routes_not_using_link_excluded():
+    net = build_ring_network(6)
+    link = net.links_between(0, 1)[0]
+    routes = routes_over_link(net, link.link_id)
+    pairs = {(r.src, r.dst) for r in routes}
+    assert (0, 5) not in pairs  # goes the other way
+    assert (3, 2) not in pairs
+
+
+def test_traffic_attached_to_routes():
+    net = build_ring_network(4)
+    matrix = TrafficMatrix({(0, 1): 600.0})
+    link = net.links_between(0, 1)[0]
+    routes = routes_over_link(net, link.link_id, matrix)
+    route = next(r for r in routes if (r.src, r.dst) == (0, 1))
+    assert route.traffic_bps == 600.0
+
+
+def test_string_network_has_no_sheddable_routes():
+    """A chain has no alternate paths: alt distances are infinite, so no
+    route has a finite shed cost."""
+    net = build_string_network(4)
+    stats = shed_cost_by_length(net)
+    assert stats.by_length == {}
+
+
+class TestArpanetFigure7:
+    """The paper's quantitative anchors on the ARPANET-like topology."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return shed_cost_by_length(build_arpanet_1987())
+
+    def test_shed_all_decreases_with_route_length(self, stats):
+        """Long routes have alternate paths only slightly longer."""
+        lengths = stats.lengths()
+        means = [stats.shed_all_mean(l) for l in lengths]
+        assert means[0] == max(means)
+        assert means[-1] <= 2.0
+
+    def test_mean_cost_to_shed_everything_about_four(self, stats):
+        # Paper: "The average reported cost needed to shed all routes is
+        # four hops."
+        assert 3.0 <= stats.mean_cost_to_shed_everything() <= 6.0
+
+    def test_one_hop_max_about_eight(self, stats):
+        # Paper: "in the case of a one-hop route, the maximum reported
+        # cost needed to shed the route is eight hops".
+        assert 6.0 <= stats.shed_all_max(1) <= 10.0
+
+    def test_hnspf_cap_below_shedding_point(self, stats):
+        """HN-SPF's 3-hop cap sits below the average all-route shedding
+        cost, so the average link can never shed everything."""
+        assert stats.mean_cost_to_shed_everything() > 3.0
+
+    def test_variability_statistics_available(self, stats):
+        for length in stats.lengths():
+            assert stats.shed_all_min(length) <= \
+                stats.shed_all_mean(length) <= stats.shed_all_max(length)
+            assert stats.stdev(length) >= 0.0
+            assert stats.minimum(length) >= 1.0
+
+    def test_overall_route_mean_below_shed_all_mean(self, stats):
+        assert stats.overall_mean() < stats.mean_cost_to_shed_everything()
+        assert stats.overall_max() >= stats.shed_all_max(1)

@@ -1,0 +1,114 @@
+"""Unit tests for event primitives."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, Simulator
+
+
+def test_event_initially_untriggered():
+    sim = Simulator()
+    event = sim.event("probe")
+    assert not event.triggered
+    with pytest.raises(RuntimeError):
+        _ = event.value
+
+
+def test_succeed_carries_value():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(123)
+    assert event.triggered
+    assert event.ok
+    assert event.value == 123
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(RuntimeError):
+        event.succeed()
+    with pytest.raises(RuntimeError):
+        event.fail(ValueError())
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")
+
+
+def test_fail_marks_not_ok():
+    sim = Simulator()
+    event = sim.event()
+    event.fail(KeyError("x"))
+    assert event.triggered
+    assert not event.ok
+    assert isinstance(event.value, KeyError)
+
+
+def test_callbacks_run_at_trigger_time_via_queue():
+    sim = Simulator()
+    seen = []
+    event = sim.event()
+    event.callbacks.append(lambda evt: seen.append(evt.value))
+    event.succeed("hello")
+    assert seen == []  # not synchronous
+    sim.run()
+    assert seen == ["hello"]
+
+
+def test_allof_collects_values_in_order():
+    sim = Simulator()
+    t_late = sim.timeout(5.0, value="late")
+    t_early = sim.timeout(1.0, value="early")
+    combined = AllOf(sim, [t_late, t_early])
+    assert sim.run_until_event(combined) == ["late", "early"]
+    assert sim.now == 5.0
+
+
+def test_allof_empty_is_vacuously_true():
+    sim = Simulator()
+    combined = AllOf(sim, [])
+    sim.run()
+    assert combined.triggered
+    assert combined.value == []
+
+
+def test_allof_fails_fast_on_failure():
+    sim = Simulator()
+    bad = sim.event()
+    good = sim.timeout(10.0)
+    combined = AllOf(sim, [bad, good])
+    bad.fail(RuntimeError("bad"))
+    with pytest.raises(RuntimeError, match="bad"):
+        sim.run_until_event(combined)
+
+
+def test_anyof_fires_with_first_value():
+    sim = Simulator()
+    slow = sim.timeout(9.0, value="slow")
+    fast = sim.timeout(2.0, value="fast")
+    first = AnyOf(sim, [slow, fast])
+    assert sim.run_until_event(first) == "fast"
+    assert sim.now == 2.0
+
+
+def test_anyof_with_pretriggered_event():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("instant")
+    first = AnyOf(sim, [done, sim.timeout(50.0)])
+    sim.run(until=0.0)
+    assert first.triggered
+    assert first.value == "instant"
+
+
+def test_timeout_cannot_be_retriggered():
+    sim = Simulator()
+    timeout = sim.timeout(1.0)
+    with pytest.raises(RuntimeError):
+        timeout.succeed()
+    with pytest.raises(RuntimeError):
+        timeout.fail(ValueError())

@@ -1,0 +1,209 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.des import Interrupt, Simulator
+
+
+def test_process_runs_to_completion_with_return_value():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(2.0)
+        yield sim.timeout(3.0)
+        return "finished"
+
+    proc = sim.process(worker(sim))
+    assert sim.run_until_event(proc) == "finished"
+    assert sim.now == 5.0
+
+
+def test_process_receives_event_values():
+    sim = Simulator()
+    seen = []
+
+    def worker(sim):
+        value = yield sim.timeout(1.0, value="tick")
+        seen.append(value)
+
+    sim.process(worker(sim))
+    sim.run()
+    assert seen == ["tick"]
+
+
+def test_process_is_alive_until_done():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(10.0)
+
+    proc = sim.process(worker(sim))
+    sim.run(until=5.0)
+    assert proc.is_alive
+    sim.run()
+    assert not proc.is_alive
+
+
+def test_waiting_on_another_process():
+    sim = Simulator()
+    order = []
+
+    def child(sim):
+        yield sim.timeout(4.0)
+        order.append("child")
+        return 99
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        order.append(f"parent-got-{result}")
+
+    sim.process(parent(sim))
+    sim.run()
+    assert order == ["child", "parent-got-99"]
+
+
+def test_waiting_on_already_finished_process():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+        return "early"
+
+    quick_proc = sim.process(quick(sim))
+    sim.run(until=2.0)
+    assert quick_proc.triggered
+
+    results = []
+
+    def late(sim):
+        value = yield quick_proc
+        results.append(value)
+
+    sim.process(late(sim))
+    sim.run()
+    assert results == ["early"]
+
+
+def test_unhandled_exception_propagates_when_unwatched():
+    sim = Simulator()
+
+    def crasher(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("kaboom")
+
+    sim.process(crasher(sim))
+    with pytest.raises(ValueError, match="kaboom"):
+        sim.run()
+
+
+def test_exception_delivered_to_waiting_parent():
+    sim = Simulator()
+
+    def crasher(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("inner")
+
+    def parent(sim):
+        try:
+            yield sim.process(crasher(sim))
+        except ValueError as exc:
+            return f"caught-{exc}"
+
+    proc = sim.process(parent(sim))
+    assert sim.run_until_event(proc) == "caught-inner"
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append(("interrupted", interrupt.cause, sim.now))
+
+    def interrupter(sim, victim):
+        yield sim.timeout(3.0)
+        victim.interrupt(cause="wake-up")
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert log == [("interrupted", "wake-up", 3.0)]
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(1.0)
+        log.append(sim.now)
+
+    def interrupter(sim, victim):
+        yield sim.timeout(5.0)
+        victim.interrupt()
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert log == [6.0]
+
+
+def test_interrupting_finished_process_raises():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield "not an event"
+
+    def parent(sim):
+        try:
+            yield sim.process(bad(sim))
+        except TypeError:
+            return "typed"
+
+    proc = sim.process(parent(sim))
+    assert sim.run_until_event(proc) == "typed"
+
+
+def test_non_generator_rejected():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process("not a generator")
+
+
+def test_two_processes_interleave_deterministically():
+    sim = Simulator()
+    order = []
+
+    def looper(sim, tag, period):
+        for _ in range(3):
+            yield sim.timeout(period)
+            order.append((tag, sim.now))
+
+    sim.process(looper(sim, "a", 2.0))
+    sim.process(looper(sim, "b", 3.0))
+    sim.run()
+    # At t=6 both fire; b's timeout was scheduled earlier (at t=3 vs t=4),
+    # so FIFO-by-scheduling-order resumes b first.
+    assert order == [
+        ("a", 2.0), ("b", 3.0), ("a", 4.0),
+        ("b", 6.0), ("a", 6.0), ("b", 9.0),
+    ]

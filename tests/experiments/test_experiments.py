@@ -1,0 +1,119 @@
+"""Smoke and shape tests for the experiment harness (fast mode).
+
+The full-size runs live in ``benchmarks/``; here each experiment runs in
+its reduced-duration mode and the paper's qualitative claims are checked
+on the smaller output.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENT_IDS
+from repro.experiments import (  # noqa: F401 - imported for registry test
+    fig4,
+    fig5,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+)
+
+
+def test_registry_covers_every_table_and_figure():
+    from repro.experiments import EXTENSION_IDS, PAPER_IDS
+
+    assert set(PAPER_IDS) == {
+        "fig1", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "fig12", "fig13", "table1",
+    }
+    assert set(EXTENSION_IDS) == {
+        "evolution", "fluid", "flowcontrol", "milnet", "multipath",
+    }
+    assert set(EXPERIMENT_IDS) == set(PAPER_IDS) | set(EXTENSION_IDS)
+
+
+def test_fig4_shape():
+    result = fig4.run(fast=True)
+    assert "Figure 4" in result.title
+    assert result.data["dspf_at_095"] > result.data["hnspf_at_095"]
+    assert result.rendered
+
+
+def test_fig5_shape():
+    result = fig5.run(fast=True)
+    idle = result.data["idle"]
+    assert idle["56K-S"] == 2 * idle["56K-T"]
+    assert "9.6K-S" in result.rendered
+
+
+def test_fig7_shape():
+    result = fig7.run(fast=True)
+    assert 3.0 <= result.data["mean_shed_everything"] <= 6.0
+
+
+def test_fig8_shape():
+    result = fig8.run(fast=True)
+    assert result.data["shed_at_4"] > 0.8
+
+
+def test_fig9_shape():
+    result = fig9.run(fast=True)
+    for by_metric in result.data["points"].values():
+        assert by_metric["HN-SPF"].utilization >= \
+            by_metric["D-SPF"].utilization - 1e-9
+
+
+def test_fig10_shape():
+    result = fig10.run(fast=True)
+    curves = {n: dict(p) for n, p in result.data["curves"].items()}
+    top = max(result.data["loads"])
+    assert curves["HN-SPF"][top] > curves["D-SPF"][top]
+
+
+def test_fig11_shape():
+    result = fig11.run(fast=True)
+    assert result.data["far"].amplitude() > 10.0
+    assert result.data["near"].converged(tolerance=0.5)
+
+
+def test_fig12_shape():
+    result = fig12.run(fast=True)
+    assert result.data["easing"].reported_hops[0] == pytest.approx(3.0)
+    assert result.data["easing"].converged(tolerance=0.5)
+
+
+@pytest.mark.slow
+def test_fig1_shape():
+    from repro.experiments import fig1
+
+    result = fig1.run(fast=True)
+    runs = result.data["runs"]
+    assert runs["HN-SPF"]["spread_a"] < runs["D-SPF"]["spread_a"]
+
+
+@pytest.mark.slow
+def test_table1_shape():
+    from repro.experiments import table1
+
+    result = table1.run(fast=True)
+    assert result.data["aug"].round_trip_delay_ms < \
+        result.data["may"].round_trip_delay_ms
+    assert result.data["aug"].internode_traffic_kbps > \
+        result.data["may"].internode_traffic_kbps
+
+
+def test_cli_runs_single_experiment(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["fig5", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "completed" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    from repro.experiments.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["fig99"])

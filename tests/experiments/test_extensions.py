@@ -1,0 +1,53 @@
+"""Shape tests for the extension experiments (fast mode)."""
+
+import pytest
+
+
+@pytest.mark.slow
+def test_fluid_extension_shape():
+    from repro.experiments import fluid
+
+    result = fluid.run(fast=True)
+    traces = result.data
+    assert traces[(1.0, "HN-SPF")].settled(churn_tolerance=0.1)
+    assert not traces[(1.0, "D-SPF")].settled(churn_tolerance=0.1)
+    assert "settled" in result.rendered
+
+
+@pytest.mark.slow
+def test_multipath_extension_shape():
+    from repro.experiments import multipath
+
+    result = multipath.run(fast=True)
+    assert result.data["packet"].delivery_ratio > 0.95
+    assert result.data["None"].delivery_ratio < 0.7
+
+
+@pytest.mark.slow
+def test_flowcontrol_extension_shape():
+    from repro.experiments import flowcontrol
+
+    result = flowcontrol.run(fast=True)
+    assert result.data["8"]["report"].congestion_drops == 0
+    assert result.data["None"]["report"].congestion_drops > 1000
+
+
+@pytest.mark.slow
+def test_milnet_extension_shape():
+    from repro.experiments import milnet
+
+    result = milnet.run(fast=True)
+    hnspf = result.data["HN-SPF"]
+    dspf = result.data["D-SPF"]
+    assert hnspf.round_trip_delay_ms < dspf.round_trip_delay_ms
+    assert hnspf.congestion_drops < dspf.congestion_drops
+
+
+@pytest.mark.slow
+def test_evolution_extension_shape():
+    from repro.experiments import evolution
+
+    result = evolution.run(fast=True)
+    bf = result.data["BF-1969"]
+    hnspf = result.data["HN-SPF"]
+    assert bf["hop_limit_drops"] > hnspf["hop_limit_drops"]

@@ -1,0 +1,95 @@
+"""Unit and property tests for the M/M/1 transforms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.queueing import (
+    MAX_MODEL_UTILIZATION,
+    delay_to_utilization,
+    service_time_s,
+    utilization_to_delay_s,
+)
+
+
+def test_service_time_600_bits_at_56k():
+    # 600 bits / 56 kb/s ~ 10.7 ms: the paper's average packet.
+    assert service_time_s(56_000.0) == pytest.approx(0.0107, rel=0.01)
+
+
+def test_service_time_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        service_time_s(0.0)
+    with pytest.raises(ValueError):
+        service_time_s(56_000.0, packet_bits=-1.0)
+
+
+def test_zero_utilization_delay_is_service_plus_propagation():
+    delay = utilization_to_delay_s(0.0, 56_000.0, propagation_s=0.010)
+    assert delay == pytest.approx(600.0 / 56_000.0 + 0.010)
+
+
+def test_delay_diverges_toward_saturation():
+    d50 = utilization_to_delay_s(0.5, 56_000.0)
+    d90 = utilization_to_delay_s(0.9, 56_000.0)
+    d99 = utilization_to_delay_s(0.99, 56_000.0)
+    assert d50 < d90 < d99
+    assert d90 == pytest.approx(10 * d50 / 2, rel=0.01)  # S/(1-u) scaling
+
+
+def test_delay_clamped_at_saturation():
+    at_one = utilization_to_delay_s(1.0, 56_000.0)
+    beyond = utilization_to_delay_s(5.0, 56_000.0)
+    assert at_one == beyond  # both clamped to MAX_MODEL_UTILIZATION
+
+
+def test_negative_utilization_rejected():
+    with pytest.raises(ValueError):
+        utilization_to_delay_s(-0.1, 56_000.0)
+
+
+def test_delay_below_zero_load_maps_to_zero_utilization():
+    service = service_time_s(56_000.0)
+    assert delay_to_utilization(service * 0.5, 56_000.0) == 0.0
+    assert delay_to_utilization(service, 56_000.0) == 0.0
+
+
+def test_known_inversion_points():
+    # delay = 2S  ->  u = 0.5
+    service = service_time_s(56_000.0)
+    assert delay_to_utilization(2 * service, 56_000.0) == pytest.approx(0.5)
+    # delay = 4S  ->  u = 0.75 (the paper's Figure-7 discussion point)
+    assert delay_to_utilization(4 * service, 56_000.0) == pytest.approx(0.75)
+
+
+def test_propagation_is_subtracted_before_inversion():
+    service = service_time_s(56_000.0)
+    u = delay_to_utilization(
+        2 * service + 0.260, 56_000.0, propagation_s=0.260
+    )
+    assert u == pytest.approx(0.5)
+
+
+@given(st.floats(min_value=0.0, max_value=0.99))
+def test_roundtrip_utilization_delay_utilization(u):
+    bandwidth = 56_000.0
+    delay = utilization_to_delay_s(u, bandwidth, propagation_s=0.015)
+    back = delay_to_utilization(delay, bandwidth, propagation_s=0.015)
+    assert back == pytest.approx(u, abs=1e-9)
+
+
+@given(
+    st.floats(min_value=0.001, max_value=10.0),
+    st.floats(min_value=1_000.0, max_value=10_000_000.0),
+)
+def test_inversion_always_in_model_range(delay, bandwidth):
+    u = delay_to_utilization(delay, bandwidth)
+    assert 0.0 <= u <= MAX_MODEL_UTILIZATION
+
+
+@given(st.floats(min_value=0.0, max_value=5.0))
+def test_delay_monotone_in_utilization(u):
+    bandwidth = 9_600.0
+    lower = utilization_to_delay_s(u, bandwidth)
+    higher = utilization_to_delay_s(u + 0.1, bandwidth)
+    assert higher >= lower

@@ -1,0 +1,122 @@
+"""Tests for end-to-end (RFNM) flow control."""
+
+import pytest
+
+from repro.metrics import HopNormalizedMetric
+from repro.psn.flow_control import HostInterface
+from repro.sim import NetworkSimulation, ScenarioConfig
+from repro.topology import build_ring_network, build_string_network
+from repro.traffic import TrafficMatrix
+
+
+class TestHostInterface:
+    def make(self, window=2):
+        sent = []
+        host = HostInterface(window=window,
+                             send=lambda dst, size: sent.append((dst, size)))
+        return host, sent
+
+    def test_window_admits_then_queues(self):
+        host, sent = self.make(window=2)
+        assert host.submit(5, 600.0)
+        assert host.submit(5, 600.0)
+        assert not host.submit(5, 600.0)  # third waits
+        assert len(sent) == 2
+        assert host.in_flight(5) == 2
+        assert host.backlog(5) == 1
+
+    def test_rfnm_releases_backlog(self):
+        host, sent = self.make(window=1)
+        host.submit(5, 100.0)
+        host.submit(5, 200.0)
+        assert len(sent) == 1
+        host.on_rfnm(5)
+        assert len(sent) == 2
+        assert sent[1] == (5, 200.0)
+        assert host.in_flight(5) == 1
+
+    def test_windows_are_per_destination(self):
+        host, sent = self.make(window=1)
+        assert host.submit(5, 100.0)
+        assert host.submit(6, 100.0)  # different destination: admitted
+        assert len(sent) == 2
+
+    def test_counters(self):
+        host, _sent = self.make(window=1)
+        host.submit(5, 1.0)
+        host.submit(5, 1.0)
+        host.on_rfnm(5)
+        assert host.messages_submitted == 2
+        assert host.messages_sent == 2
+        assert host.rfnms_received == 1
+        assert host.total_backlog() == 0
+
+    def test_spurious_rfnm_harmless(self):
+        host, _sent = self.make()
+        host.on_rfnm(9)  # nothing outstanding
+        assert host.in_flight(9) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostInterface(window=0, send=lambda d, s: None)
+        with pytest.raises(ValueError):
+            HostInterface(window=1, send=None)
+
+
+class TestFlowControlledNetwork:
+    def test_rfnms_flow_and_window_respected(self):
+        net = build_ring_network(4)
+        traffic = TrafficMatrix({(0, 2): 20_000.0})
+        sim = NetworkSimulation(
+            net, HopNormalizedMetric(), traffic,
+            ScenarioConfig(duration_s=120.0, warmup_s=20.0,
+                           flow_control_window=8),
+        )
+        report = sim.run()
+        host = sim.psns[0].host
+        assert host.rfnms_received > 0
+        assert host.in_flight(2) <= 8
+        assert report.delivery_ratio > 0.95  # light load: window is ample
+
+    def test_overload_throttled_at_host_not_dropped_in_subnet(self):
+        net = build_string_network(4)
+        traffic = TrafficMatrix({(0, 3): 112_000.0})  # 2x line rate
+        sim = NetworkSimulation(
+            net, HopNormalizedMetric(), traffic,
+            ScenarioConfig(duration_s=200.0, warmup_s=40.0, seed=6,
+                           flow_control_window=8),
+        )
+        report = sim.run()
+        assert report.congestion_drops == 0
+        assert sim.psns[0].host.total_backlog() > 100
+
+    def test_flow_control_contains_congestion(self):
+        """The paper's worry -- 'over-utilization of subnet links can
+        lead to the spread of congestion' -- is what the window stops:
+        with it, a bystander flow through the same links keeps a low
+        delay; without it, buffers fill and everyone queues."""
+        def run(window):
+            net = build_string_network(4)
+            traffic = TrafficMatrix({(0, 3): 112_000.0, (1, 2): 5_000.0})
+            sim = NetworkSimulation(
+                net, HopNormalizedMetric(), traffic,
+                ScenarioConfig(duration_s=200.0, warmup_s=40.0, seed=6,
+                               flow_control_window=window),
+            )
+            return sim.run()
+
+        open_loop = run(None)
+        windowed = run(8)
+        assert windowed.congestion_drops == 0
+        assert open_loop.congestion_drops > 1000
+        assert windowed.delay_p99_ms < 0.6 * open_loop.delay_p99_ms
+
+    def test_disabled_by_default(self):
+        net = build_ring_network(4)
+        sim = NetworkSimulation(
+            net, HopNormalizedMetric(),
+            TrafficMatrix.uniform(net, 10_000.0),
+            ScenarioConfig(duration_s=60.0, warmup_s=10.0),
+        )
+        sim.run()
+        assert all(psn.host is None for psn in sim.psns.values())

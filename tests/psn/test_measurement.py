@@ -1,0 +1,75 @@
+"""Unit tests for delay averaging and the significance criterion."""
+
+import pytest
+
+from repro.psn import DelayAverager, SignificanceCriterion
+
+
+class TestDelayAverager:
+    def test_average_of_samples(self):
+        avg = DelayAverager(zero_load_delay_s=0.012)
+        for sample in (0.010, 0.020, 0.030):
+            avg.add_sample(sample)
+        assert avg.sample_count == 3
+        assert avg.take_average() == pytest.approx(0.020)
+
+    def test_interval_reset(self):
+        avg = DelayAverager(zero_load_delay_s=0.012)
+        avg.add_sample(0.5)
+        avg.take_average()
+        avg.add_sample(0.1)
+        assert avg.take_average() == pytest.approx(0.1)
+
+    def test_empty_interval_reports_zero_load(self):
+        avg = DelayAverager(zero_load_delay_s=0.012)
+        assert avg.take_average() == pytest.approx(0.012)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DelayAverager(zero_load_delay_s=-1.0)
+        avg = DelayAverager(zero_load_delay_s=0.0)
+        with pytest.raises(ValueError):
+            avg.add_sample(-0.1)
+
+
+class TestSignificanceCriterion:
+    def test_large_change_reports_immediately(self):
+        crit = SignificanceCriterion(13)
+        assert crit.should_report(15)
+        assert crit.should_report(-14)
+
+    def test_small_change_suppressed(self):
+        crit = SignificanceCriterion(13)
+        assert not crit.should_report(5)
+
+    def test_threshold_decays_to_force_update_by_50s(self):
+        """10 s intervals, 50 s cap: the 5th check always passes."""
+        crit = SignificanceCriterion(13)
+        results = [crit.should_report(0) for _ in range(5)]
+        assert results == [False, False, False, False, True]
+
+    def test_success_rearms_threshold(self):
+        crit = SignificanceCriterion(13)
+        crit.should_report(0)  # decay once
+        assert crit.should_report(13)  # fires
+        assert not crit.should_report(12)  # threshold back to full
+
+    def test_decay_lowers_bar_gradually(self):
+        crit = SignificanceCriterion(12)
+        assert not crit.should_report(11)   # vs 12
+        assert crit.should_report(11)       # vs 9 after one decay step
+
+
+    def test_zero_threshold_always_reports(self):
+        crit = SignificanceCriterion(0)
+        assert crit.should_report(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SignificanceCriterion(-1)
+        with pytest.raises(ValueError):
+            SignificanceCriterion(10, measurement_interval_s=0.0)
+        with pytest.raises(ValueError):
+            SignificanceCriterion(
+                10, measurement_interval_s=60.0, max_update_interval_s=50.0
+            )

@@ -1,0 +1,78 @@
+"""Unit tests for CSV export."""
+
+import csv
+
+import pytest
+
+from repro.report.export import (
+    write_report_csv,
+    write_series_csv,
+    write_table_csv,
+)
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+def test_write_table(tmp_path):
+    target = write_table_csv(
+        tmp_path / "t.csv", ["a", "b"], [(1, 2), (3, 4)]
+    )
+    rows = read_csv(target)
+    assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+def test_write_table_creates_directories(tmp_path):
+    target = write_table_csv(
+        tmp_path / "deep" / "dir" / "t.csv", ["x"], [(1,)]
+    )
+    assert target.exists()
+
+
+def test_write_table_rejects_ragged(tmp_path):
+    with pytest.raises(ValueError):
+        write_table_csv(tmp_path / "t.csv", ["a", "b"], [(1,)])
+
+
+def test_write_series_merges_on_x(tmp_path):
+    target = write_series_csv(
+        tmp_path / "s.csv",
+        {"one": [(0.0, 1.0), (1.0, 2.0)], "two": [(1.0, 5.0)]},
+        x_label="t",
+    )
+    rows = read_csv(target)
+    assert rows[0] == ["t", "one", "two"]
+    assert rows[1] == ["0.0", "1.0", ""]
+    assert rows[2] == ["1.0", "2.0", "5.0"]
+
+
+def test_write_series_rejects_empty(tmp_path):
+    with pytest.raises(ValueError):
+        write_series_csv(tmp_path / "s.csv", {})
+
+
+def test_write_report(tmp_path):
+    from repro.sim.stats import SimulationReport
+
+    report = SimulationReport(
+        metric_name="HN-SPF", duration_s=100.0,
+        internode_traffic_kbps=50.0, round_trip_delay_ms=120.0,
+        updates_per_s=1.0, updates_per_trunk_s=2.0,
+        update_period_per_node_s=10.0,
+        actual_path_hops=3.0, minimum_path_hops=2.5,
+        congestion_drops=7, other_drops=0,
+        delivered_packets=1000, offered_packets=1010,
+    )
+    target = write_report_csv(tmp_path / "r.csv", {"run-1": report})
+    rows = read_csv(target)
+    assert rows[0][0] == "label"
+    assert rows[1][0] == "run-1"
+    assert "HN-SPF" in rows[1]
+    assert "50.0" in rows[1]
+
+
+def test_write_report_rejects_empty(tmp_path):
+    with pytest.raises(ValueError):
+        write_report_csv(tmp_path / "r.csv", {})

@@ -1,0 +1,50 @@
+"""Unit tests for ASCII charts."""
+
+import pytest
+
+from repro.report import ascii_chart
+
+
+def test_single_series_renders():
+    out = ascii_chart({"line": [(0, 0), (1, 1), (2, 2)]}, width=20,
+                      height=6)
+    assert "legend: *=line" in out
+    canvas = [l for l in out.splitlines() if l.startswith("|")]
+    assert sum(l.count("*") for l in canvas) == 3
+
+
+def test_multiple_series_distinct_symbols():
+    out = ascii_chart(
+        {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+        width=16, height=5,
+    )
+    assert "*=a" in out
+    assert "o=b" in out
+
+
+def test_title_and_labels():
+    out = ascii_chart(
+        {"s": [(0, 5), (10, 7)]},
+        title="my chart", x_label="time", y_label="load",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "my chart"
+    assert "load" in lines[1]
+    assert "time: 0 .. 10" in out
+
+
+def test_flat_series_does_not_crash():
+    out = ascii_chart({"flat": [(0, 1), (1, 1), (2, 1)]})
+    assert "flat" in out
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"empty": []})
+
+
+def test_too_small_canvas_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(0, 0)]}, width=2, height=2)

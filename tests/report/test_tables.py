@@ -1,0 +1,36 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.report import ascii_table
+
+
+def test_basic_table():
+    out = ascii_table(["name", "value"], [("a", 1), ("bb", 2.5)])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) == {"-"}
+    assert "2.50" in lines[3]
+
+
+def test_title():
+    out = ascii_table(["x"], [(1,)], title="hello")
+    assert out.splitlines()[0] == "hello"
+
+
+def test_column_alignment():
+    out = ascii_table(["col"], [("short",), ("a much longer cell",)])
+    lines = out.splitlines()
+    widths = {len(line) for line in lines[2:]}
+    assert len(widths) == 1
+
+
+def test_mismatched_row_rejected():
+    with pytest.raises(ValueError):
+        ascii_table(["a", "b"], [(1,)])
+
+
+def test_float_formatting():
+    out = ascii_table(["v"], [(1.23456,)])
+    assert "1.23" in out
+    assert "1.2345" not in out

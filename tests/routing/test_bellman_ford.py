@@ -1,0 +1,129 @@
+"""Unit tests for the 1969 distributed Bellman-Ford baseline."""
+
+import math
+
+import pytest
+
+from repro.routing import BellmanFordNode, has_routing_loop, queue_length_metric
+from repro.topology import build_ring_network, build_string_network
+
+
+def converge(network, metrics_per_node, rounds=None):
+    """Run synchronous exchange rounds until convergence.
+
+    ``metrics_per_node[node]`` maps neighbour -> link metric.
+    """
+    nodes = {n: BellmanFordNode(network, n) for n in network.nodes}
+    rounds = rounds or 2 * len(network.nodes)
+    for _ in range(rounds):
+        vectors = {n: node.snapshot() for n, node in nodes.items()}
+        changed = False
+        for n, node in nodes.items():
+            for neighbour in network.neighbors(n):
+                node.receive_vector(neighbour, vectors[neighbour])
+            if node.recompute(metrics_per_node[n]):
+                changed = True
+        if not changed:
+            break
+    return nodes
+
+
+def uniform_metrics(network, value=1.0):
+    return {
+        n: {nb: value for nb in network.neighbors(n)}
+        for n in network.nodes
+    }
+
+
+def test_queue_length_metric():
+    assert queue_length_metric(0) == 4.0
+    assert queue_length_metric(10) == 14.0
+    with pytest.raises(ValueError):
+        queue_length_metric(-1)
+
+
+def test_converges_to_shortest_paths_on_string():
+    net = build_string_network(5)
+    nodes = converge(net, uniform_metrics(net))
+    assert nodes[0].table.distance[4] == pytest.approx(4.0)
+    assert nodes[0].next_hop(4) == 1
+
+
+def test_converges_on_ring_both_ways():
+    net = build_ring_network(6)
+    nodes = converge(net, uniform_metrics(net))
+    assert nodes[0].table.distance[3] == pytest.approx(3.0)
+    assert nodes[0].table.distance[5] == pytest.approx(1.0)
+    assert nodes[0].next_hop(5) == 5
+
+
+def test_self_distance_zero():
+    net = build_ring_network(4)
+    nodes = converge(net, uniform_metrics(net))
+    for n, node in nodes.items():
+        assert node.table.distance[n] == 0.0
+        assert node.next_hop(n) is None
+
+
+def test_rejects_own_vector():
+    net = build_ring_network(4)
+    node = BellmanFordNode(net, 0)
+    with pytest.raises(ValueError):
+        node.receive_vector(0, {})
+
+
+def test_no_loop_after_convergence():
+    net = build_ring_network(6)
+    nodes = converge(net, uniform_metrics(net))
+    for dest in net.nodes:
+        looped, _cycle = has_routing_loop(nodes, dest)
+        assert not looped
+
+
+def test_volatile_metric_causes_transient_loops():
+    """The paper's complaint: with a rapidly-changing metric and stale
+    neighbour tables, forwarding loops form."""
+    net = build_ring_network(4)
+    metrics = uniform_metrics(net)
+    nodes = converge(net, metrics)
+
+    # Queue spike: node 1's link toward 2 suddenly looks terrible, and
+    # node 1 re-minimizes before its neighbours hear about anything.
+    metrics[1][2] = queue_length_metric(400)
+    metrics[1][0] = queue_length_metric(0)
+    nodes[1].recompute(metrics[1])
+    # Node 1 now routes to 2 the long way (via 0) using 0's *stale* table,
+    # while 0 still routes to 2 via 1: a loop.
+    looped, cycle = has_routing_loop(nodes, dest=2)
+    assert looped
+    assert set(cycle) == {0, 1}
+
+
+def test_unreachable_when_partitioned():
+    net = build_string_network(3)
+    metrics = uniform_metrics(net)
+    # Sever 0-1 in both directions by removing the neighbour metrics.
+    del metrics[0][1]
+    del metrics[1][0]
+    nodes = converge(net, metrics)
+    assert math.isinf(nodes[0].table.distance[2])
+    assert nodes[0].next_hop(2) is None
+
+
+def test_counting_to_infinity_is_bounded():
+    """Distances blow up after a partition but are cut off at the
+    INFINITY_THRESHOLD rather than counting forever."""
+    net = build_string_network(3)
+    metrics = uniform_metrics(net)
+    nodes = converge(net, metrics)
+    assert nodes[2].table.distance[0] == pytest.approx(2.0)
+    # Partition node 0 away; keep exchanging stale vectors 1 <-> 2.
+    del metrics[1][0]
+    for _ in range(3000):
+        vectors = {n: node.snapshot() for n, node in nodes.items()}
+        for n in (1, 2):
+            for neighbour in net.neighbors(n):
+                if neighbour in metrics[n]:
+                    nodes[n].receive_vector(neighbour, vectors[neighbour])
+            nodes[n].recompute(metrics[n])
+    assert math.isinf(nodes[2].table.distance[0])

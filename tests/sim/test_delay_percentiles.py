@@ -1,0 +1,60 @@
+"""Tests for delay-percentile reporting."""
+
+import pytest
+
+from repro.metrics import HopNormalizedMetric
+from repro.psn.packet import Packet, PacketKind
+from repro.sim import NetworkSimulation, ScenarioConfig, StatsCollector
+from repro.topology import build_ring_network
+from repro.traffic import TrafficMatrix
+
+
+def delivered(stats, delay_s, when=100.0):
+    packet = Packet(
+        packet_id=1, kind=PacketKind.DATA, src=0, dst=1,
+        size_bits=600.0, created_s=when - delay_s,
+    )
+    packet.trail = [0]
+    stats.packet_delivered(packet, when)
+
+
+def test_percentiles_of_known_distribution():
+    stats = StatsCollector(build_ring_network(4))
+    for i in range(100):
+        delivered(stats, delay_s=(i + 1) / 1000.0)  # 1..100 ms
+    assert stats.delay_percentile_ms(0.50) == pytest.approx(51.0, abs=1.5)
+    assert stats.delay_percentile_ms(0.90) == pytest.approx(91.0, abs=1.5)
+    assert stats.delay_percentile_ms(0.99) == pytest.approx(100.0, abs=1.5)
+
+
+def test_percentiles_empty():
+    stats = StatsCollector(build_ring_network(4))
+    assert stats.delay_percentile_ms(0.5) == 0.0
+
+
+def test_percentile_bounds_checked():
+    stats = StatsCollector(build_ring_network(4))
+    with pytest.raises(ValueError):
+        stats.delay_percentile_ms(1.5)
+
+
+def test_report_carries_percentiles():
+    net = build_ring_network(4)
+    sim = NetworkSimulation(
+        net, HopNormalizedMetric(), TrafficMatrix.uniform(net, 30_000.0),
+        ScenarioConfig(duration_s=120.0, warmup_s=20.0),
+    )
+    report = sim.run()
+    assert 0 < report.delay_p50_ms <= report.delay_p90_ms \
+        <= report.delay_p99_ms
+    # Mean one-way delay (RTT/2) sits between the median and the p99.
+    assert report.delay_p50_ms <= report.round_trip_delay_ms / 2.0 \
+        <= report.delay_p99_ms
+
+
+def test_reservoir_bounds_memory():
+    stats = StatsCollector(build_ring_network(4))
+    stats._reservoir_limit = 100
+    for i in range(1000):
+        delivered(stats, delay_s=0.01)
+    assert len(stats._delay_reservoir) == 100

@@ -1,0 +1,58 @@
+"""Tests for the top-level CLI (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_topology_command(capsys):
+    assert main(["topology", "arpanet"]) == 0
+    out = capsys.readouterr().out
+    assert "arpanet-1987" in out
+    assert "56K-T" in out
+    assert "trunking mix" in out
+
+
+def test_topology_milnet(capsys):
+    assert main(["topology", "milnet"]) == 0
+    out = capsys.readouterr().out
+    assert "milnet-1987" in out
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(SystemExit):
+        main(["topology", "bitnet"])
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "fig5", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+
+
+def test_fluid_command(capsys):
+    assert main([
+        "fluid", "--topology", "milnet", "--metric", "hnspf",
+        "--traffic-kbps", "60", "--rounds", "8",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fluid model" in out
+    assert "settled" in out
+
+
+@pytest.mark.slow
+def test_simulate_command(capsys, tmp_path):
+    csv_path = tmp_path / "out.csv"
+    assert main([
+        "simulate", "--topology", "milnet", "--metric", "minhop",
+        "--traffic-kbps", "40", "--duration", "60",
+        "--csv", str(csv_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Min-Hop" in out
+    assert csv_path.exists()
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,33 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.des
+import repro.metrics
+import repro.sim.network_sim
+import repro.sim.scenarios
+
+
+def run_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0, f"{module.__name__} doctests failed"
+
+
+def test_des_doctest():
+    run_doctests(repro.des)
+
+
+def test_metrics_doctest():
+    run_doctests(repro.metrics)
+
+
+def test_network_sim_doctest():
+    run_doctests(repro.sim.network_sim)
+
+
+@pytest.mark.slow
+def test_scenarios_doctest():
+    run_doctests(repro.sim.scenarios)

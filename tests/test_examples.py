@@ -1,0 +1,78 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are part of the public deliverable; if an API change breaks
+one, this is where it shows up.  They run as real subprocesses, exactly
+as a user would invoke them.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name, timeout=600):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES_DIR,
+    )
+
+
+def test_examples_directory_is_complete():
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert len(ALL_EXAMPLES) >= 6
+
+
+def test_quickstart_runs():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "Quickstart" in result.stdout
+    assert "delivery ratio" in result.stdout
+
+
+def test_legacy_bellman_ford_runs():
+    result = run_example("legacy_bellman_ford.py")
+    assert result.returncode == 0, result.stderr
+    assert "forwarding loop toward node 2? True" in result.stdout
+
+
+def test_metric_tuning_runs():
+    result = run_example("metric_tuning.py")
+    assert result.returncode == 0, result.stderr
+    assert "Equilibrium utilization" in result.stdout
+
+
+@pytest.mark.slow
+def test_oscillation_demo_runs():
+    result = run_example("oscillation_demo.py")
+    assert result.returncode == 0, result.stderr
+    assert "D-SPF" in result.stdout and "HN-SPF" in result.stdout
+
+
+@pytest.mark.slow
+def test_link_failure_recovery_runs():
+    result = run_example("link_failure_recovery.py")
+    assert result.returncode == 0, result.stderr
+    assert "DOWN advertisement" in result.stdout
+    assert "ease-in" in result.stdout
+
+
+@pytest.mark.slow
+def test_capacity_planning_runs(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "capacity_planning.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=tmp_path,  # the script writes capacity_sweep.csv to cwd
+    )
+    assert result.returncode == 0, result.stderr
+    assert (tmp_path / "capacity_sweep.csv").exists()

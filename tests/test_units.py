@@ -1,0 +1,37 @@
+"""Unit tests for shared units and constants."""
+
+import pytest
+
+from repro import units
+
+
+def test_bits_to_seconds():
+    assert units.bits_to_seconds(56_000.0, 56_000.0) == 1.0
+    assert units.bits_to_seconds(600.0, 56_000.0) == pytest.approx(0.0107,
+                                                                   rel=0.01)
+    with pytest.raises(ValueError):
+        units.bits_to_seconds(100.0, 0.0)
+
+
+def test_time_conversions_roundtrip():
+    assert units.seconds_to_ms(1.5) == 1500.0
+    assert units.ms_to_seconds(units.seconds_to_ms(0.123)) == \
+        pytest.approx(0.123)
+
+
+def test_kbps():
+    assert units.kbps(56.0) == 56_000.0
+
+
+def test_paper_constants():
+    """Values stated in the paper, pinned."""
+    assert units.AVERAGE_PACKET_BITS == 600.0
+    assert units.MEASUREMENT_INTERVAL_S == 10.0
+    assert units.MAX_UPDATE_INTERVAL_S == 50.0
+    assert units.MAX_ROUTING_UNITS == 255
+    assert units.BELLMAN_FORD_EXCHANGE_S == pytest.approx(2.0 / 3.0)
+
+
+def test_satellite_propagation_dominates_terrestrial():
+    assert units.SATELLITE_PROPAGATION_S > \
+        10 * units.TERRESTRIAL_PROPAGATION_S

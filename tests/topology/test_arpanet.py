@@ -1,0 +1,97 @@
+"""Tests for the embedded ARPANET-like topology."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import build_arpanet_1987
+from repro.topology.arpanet import site_coordinates, site_weights
+from repro.units import SATELLITE_PROPAGATION_S
+
+
+@pytest.fixture(scope="module")
+def arpanet():
+    return build_arpanet_1987()
+
+
+def test_size_is_arpanet_scale(arpanet):
+    assert 50 <= len(arpanet) <= 70
+    assert 140 <= len(arpanet.links) <= 200
+
+
+def test_strongly_connected(arpanet):
+    assert arpanet.is_connected()
+
+
+def test_rich_in_alternate_paths(arpanet):
+    """The paper's Figure-7 premise: no single points of failure."""
+    undirected = nx.Graph()
+    for link in arpanet.links:
+        undirected.add_edge(link.src, link.dst)
+    assert not list(nx.articulation_points(undirected))
+
+
+def test_every_node_multiply_connected(arpanet):
+    for node in arpanet:
+        assert len(arpanet.neighbors(node.node_id)) >= 2, node.name
+
+
+def test_heterogeneous_trunking(arpanet):
+    """Section 4.4: the ARPANET has satellite and multi-trunk lines."""
+    types = {link.line_type.name for link in arpanet.links}
+    assert "9.6K-T" in types
+    assert "56K-T" in types
+    assert "2x56K-T" in types
+    assert any(t.endswith("-S") for t in types)
+
+
+def test_56k_dominates(arpanet):
+    """The bulk of the 1987 ARPANET backbone was 56 kb/s."""
+    counts = {}
+    for link in arpanet.links:
+        counts[link.line_type.name] = counts.get(link.line_type.name, 0) + 1
+    assert counts["56K-T"] > counts["9.6K-T"]
+
+
+def test_satellite_links_have_satellite_delay(arpanet):
+    for link in arpanet.links:
+        if link.line_type.is_satellite:
+            assert link.propagation_s == SATELLITE_PROPAGATION_S
+        else:
+            assert link.propagation_s < 0.05
+
+
+def test_famous_sites_present(arpanet):
+    for name in ("UCLA", "SRI", "MIT", "BBN", "ISI", "UTAH"):
+        assert arpanet.node_by_name(name).name == name
+
+
+def test_transcontinental_delay_exceeds_metro_delay(arpanet):
+    bbn_mit = arpanet.links_between(
+        arpanet.node_by_name("MIT").node_id,
+        arpanet.node_by_name("BBN").node_id,
+    )[0]
+    ucla_texas = arpanet.links_between(
+        arpanet.node_by_name("UCLA").node_id,
+        arpanet.node_by_name("TEXAS").node_id,
+    )[0]
+    assert ucla_texas.propagation_s > bbn_mit.propagation_s
+
+
+def test_weights_cover_all_sites(arpanet):
+    weights = site_weights()
+    for node in arpanet:
+        assert weights[node.name] > 0
+
+
+def test_coordinates_cover_all_sites(arpanet):
+    coords = site_coordinates()
+    assert set(coords) == {node.name for node in arpanet}
+
+
+def test_deterministic_construction():
+    first = build_arpanet_1987()
+    second = build_arpanet_1987()
+    assert [n.name for n in first] == [n.name for n in second]
+    assert [
+        (l.src, l.dst, l.line_type.name) for l in first.links
+    ] == [(l.src, l.dst, l.line_type.name) for l in second.links]

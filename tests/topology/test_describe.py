@@ -1,0 +1,34 @@
+"""Tests for topology descriptions."""
+
+from repro.topology import build_milnet_1987, build_ring_network
+from repro.topology.describe import circuit_inventory, describe_network
+
+
+def test_circuit_inventory_pairs_duplex_links():
+    net = build_ring_network(4)
+    rows = circuit_inventory(net)
+    assert len(rows) == 4  # 4 circuits, 8 simplex links
+    assert all(row[4] == "duplex" for row in rows)
+    assert all(row[5] == "up" for row in rows)
+
+
+def test_circuit_inventory_marks_down():
+    net = build_ring_network(4)
+    net.set_circuit_state(0, up=False)
+    rows = circuit_inventory(net)
+    assert sum(1 for row in rows if row[5] == "DOWN") == 1
+
+
+def test_describe_sections():
+    out = describe_network(build_milnet_1987())
+    assert "milnet-1987" in out
+    assert "trunking mix" in out
+    assert "best-connected nodes" in out
+    assert "circuit inventory" not in out
+
+
+def test_describe_with_circuits():
+    out = describe_network(build_milnet_1987(), circuits=True)
+    assert "circuit inventory" in out
+    assert "PENTAGON-MIL" in out
+    assert "56K-S" in out

@@ -1,0 +1,135 @@
+"""Unit tests for the Network/Node/Link model."""
+
+import pytest
+
+from repro.topology import Network, TopologyError, line_type
+
+
+@pytest.fixture
+def triangle():
+    net = Network("triangle")
+    a = net.add_node("A").node_id
+    b = net.add_node("B").node_id
+    c = net.add_node("C").node_id
+    net.add_circuit(a, b, line_type("56K-T"))
+    net.add_circuit(b, c, line_type("56K-T"))
+    net.add_circuit(c, a, line_type("9.6K-T"))
+    return net
+
+
+def test_node_ids_are_dense(triangle):
+    assert sorted(triangle.nodes) == [0, 1, 2]
+
+
+def test_duplicate_node_name_rejected():
+    net = Network()
+    net.add_node("X")
+    with pytest.raises(TopologyError):
+        net.add_node("X")
+
+
+def test_default_node_names():
+    net = Network()
+    assert net.add_node().name == "PSN0"
+    assert net.add_node().name == "PSN1"
+
+
+def test_node_by_name(triangle):
+    assert triangle.node_by_name("B").node_id == 1
+    with pytest.raises(KeyError):
+        triangle.node_by_name("Z")
+
+
+def test_self_link_rejected():
+    net = Network()
+    a = net.add_node().node_id
+    with pytest.raises(TopologyError):
+        net.add_link(a, a, line_type("56K-T"))
+
+
+def test_link_to_unknown_node_rejected():
+    net = Network()
+    a = net.add_node().node_id
+    with pytest.raises(TopologyError):
+        net.add_link(a, 99, line_type("56K-T"))
+
+
+def test_circuit_creates_mutual_reverses(triangle):
+    fwd = triangle.links[0]
+    bwd = triangle.links[1]
+    assert fwd.reverse_id == bwd.link_id
+    assert bwd.reverse_id == fwd.link_id
+    assert (bwd.src, bwd.dst) == (fwd.dst, fwd.src)
+
+
+def test_out_links_and_in_links(triangle):
+    out = triangle.out_links(0)
+    assert {l.dst for l in out} == {1, 2}
+    into = triangle.in_links(0)
+    assert {l.src for l in into} == {1, 2}
+
+
+def test_links_between(triangle):
+    links = triangle.links_between(0, 1)
+    assert len(links) == 1
+    assert links[0].dst == 1
+
+
+def test_neighbors(triangle):
+    assert set(triangle.neighbors(1)) == {0, 2}
+
+
+def test_propagation_defaults_to_line_type():
+    net = Network()
+    a = net.add_node().node_id
+    b = net.add_node().node_id
+    link, _ = net.add_circuit(a, b, line_type("56K-S"))
+    assert link.propagation_s == line_type("56K-S").default_propagation_s
+
+
+def test_propagation_override():
+    net = Network()
+    a = net.add_node().node_id
+    b = net.add_node().node_id
+    link, _ = net.add_circuit(a, b, line_type("56K-T"), propagation_s=0.002)
+    assert link.propagation_s == 0.002
+
+
+def test_set_circuit_state_downs_both_directions(triangle):
+    affected = triangle.set_circuit_state(0, up=False)
+    assert len(affected) == 2
+    assert not triangle.links[0].up
+    assert not triangle.links[1].up
+    # Down links disappear from adjacency unless asked for.
+    assert all(l.dst != 1 for l in triangle.out_links(0))
+    assert any(l.dst == 1 for l in triangle.out_links(0, include_down=True))
+
+
+def test_connectivity_detects_partition(triangle):
+    assert triangle.is_connected()
+    triangle.set_circuit_state(0, up=False)  # lose A<->B
+    assert triangle.is_connected()  # still A<->C<->B
+    triangle.set_circuit_state(2, up=False)  # lose B<->C: B isolated
+    assert not triangle.is_connected()
+
+
+def test_validate_passes_on_wellformed(triangle):
+    triangle.validate()
+
+
+def test_validate_catches_disconnection(triangle):
+    for link_id in (0, 2, 4):
+        triangle.set_circuit_state(link_id, up=False)
+    with pytest.raises(TopologyError):
+        triangle.validate()
+
+
+def test_to_networkx_roundtrip(triangle):
+    graph = triangle.to_networkx()
+    assert graph.number_of_nodes() == 3
+    assert graph.number_of_edges() == 6
+
+
+def test_len_and_iter(triangle):
+    assert len(triangle) == 3
+    assert [node.name for node in triangle] == ["A", "B", "C"]

@@ -1,0 +1,59 @@
+"""Unit tests for line types."""
+
+import pytest
+
+from repro.topology import LINE_TYPES, LineKind, LineType, line_type
+from repro.topology.linetypes import MAX_LINE_TYPES
+from repro.units import SATELLITE_PROPAGATION_S
+
+
+def test_registry_within_hardware_limit():
+    assert 0 < len(LINE_TYPES) <= MAX_LINE_TYPES
+
+
+def test_lookup_known_type():
+    lt = line_type("56K-T")
+    assert lt.bandwidth_bps == 56_000.0
+    assert lt.kind is LineKind.TERRESTRIAL
+    assert not lt.is_satellite
+
+
+def test_lookup_unknown_type_lists_known():
+    with pytest.raises(KeyError, match="56K-T"):
+        line_type("T1")
+
+
+def test_satellite_has_satellite_propagation():
+    lt = line_type("56K-S")
+    assert lt.is_satellite
+    assert lt.default_propagation_s == SATELLITE_PROPAGATION_S
+    assert lt.default_propagation_s > line_type("56K-T").default_propagation_s
+
+
+def test_multitrunk_combines_bandwidth():
+    lt = line_type("2x56K-T")
+    assert lt.trunk_count == 2
+    assert lt.bandwidth_bps == 112_000.0
+
+
+def test_line_type_validation():
+    with pytest.raises(ValueError):
+        LineType("bad", -1.0, LineKind.TERRESTRIAL)
+    with pytest.raises(ValueError):
+        LineType("bad", 56_000.0, LineKind.TERRESTRIAL, trunk_count=0)
+    with pytest.raises(ValueError):
+        LineType(
+            "bad", 56_000.0, LineKind.TERRESTRIAL,
+            default_propagation_s=-0.5,
+        )
+
+
+def test_line_type_is_hashable_and_frozen():
+    lt = line_type("9.6K-T")
+    assert {lt: 1}[lt] == 1
+    with pytest.raises(AttributeError):
+        lt.bandwidth_bps = 1.0
+
+
+def test_str_is_name():
+    assert str(line_type("9.6K-S")) == "9.6K-S"

@@ -1,0 +1,68 @@
+"""Tests for the MILNET-like topology."""
+
+import pytest
+
+from repro.topology import build_milnet_1987
+from repro.topology.milnet import milnet_site_weights
+
+
+@pytest.fixture(scope="module")
+def milnet():
+    return build_milnet_1987()
+
+
+def test_size(milnet):
+    assert 20 <= len(milnet) <= 35
+    assert milnet.is_connected()
+
+
+def test_different_link_bandwidths(milnet):
+    """Section 4.4: 'the MILNET also uses different link bandwidths'."""
+    bandwidths = {link.bandwidth_bps for link in milnet.links}
+    assert len(bandwidths) >= 3  # 9.6k, 56k, 112k
+
+
+def test_satellite_and_multitrunk_present(milnet):
+    types = {link.line_type.name for link in milnet.links}
+    assert "2x56K-T" in types
+    assert any(t.endswith("-S") for t in types)
+
+
+def test_more_96k_share_than_arpanet(milnet):
+    """The MILNET leaned more heavily on slow trunks."""
+    from repro.topology import build_arpanet_1987
+
+    def slow_share(net):
+        slow = sum(1 for l in net.links if l.bandwidth_bps < 10_000.0)
+        return slow / len(net.links)
+
+    assert slow_share(milnet) > slow_share(build_arpanet_1987())
+
+
+def test_overseas_tails_are_satellite(milnet):
+    for overseas in ("CROUGHTON-UK", "HICKAM-HI"):
+        node = milnet.node_by_name(overseas)
+        cross_ocean = [
+            l for l in milnet.out_links(node.node_id)
+            if l.propagation_s > 0.1
+        ]
+        assert cross_ocean, overseas
+        assert all(l.line_type.is_satellite for l in cross_ocean)
+
+
+def test_every_node_dual_homed(milnet):
+    for node in milnet:
+        assert len(milnet.out_links(node.node_id)) >= 2, node.name
+
+
+def test_weights_cover_sites(milnet):
+    weights = milnet_site_weights()
+    assert set(weights) == {n.name for n in milnet}
+    assert all(w > 0 for w in weights.values())
+
+
+def test_deterministic(milnet):
+    again = build_milnet_1987()
+    assert [
+        (l.src, l.dst, l.line_type.name) for l in again.links
+    ] == [(l.src, l.dst, l.line_type.name) for l in milnet.links]

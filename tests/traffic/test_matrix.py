@@ -1,0 +1,106 @@
+"""Unit tests for traffic matrices."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import build_ring_network, build_two_region_network
+from repro.topology.arpanet import site_weights
+from repro.traffic import TrafficMatrix
+
+
+def test_total_preserved_by_gravity():
+    net = build_ring_network(5)
+    matrix = TrafficMatrix.gravity(net, total_bps=100_000.0)
+    assert matrix.total_bps() == pytest.approx(100_000.0)
+
+
+def test_uniform_demands_equal():
+    net = build_ring_network(4)
+    matrix = TrafficMatrix.uniform(net, total_bps=120_000.0)
+    values = {bps for _pair, bps in matrix}
+    assert len(values) == 1
+    assert len(matrix) == 12  # 4*3 ordered pairs
+
+
+def test_gravity_weights_shift_demand():
+    net = build_ring_network(4)
+    weights = {"PSN0": 10.0, "PSN1": 1.0, "PSN2": 1.0, "PSN3": 1.0}
+    matrix = TrafficMatrix.gravity(net, 100_000.0, weights=weights)
+    demands = dict(matrix.demands)
+    assert demands[(0, 1)] > demands[(2, 3)]
+    assert demands[(0, 1)] == pytest.approx(demands[(1, 0)])
+
+
+def test_gravity_on_arpanet_weights():
+    from repro.topology import build_arpanet_1987
+
+    net = build_arpanet_1987()
+    matrix = TrafficMatrix.gravity(net, 366_000.0, weights=site_weights())
+    assert matrix.total_bps() == pytest.approx(366_000.0)
+    assert len(matrix) == 57 * 56
+
+
+def test_no_self_demand_allowed():
+    with pytest.raises(ValueError):
+        TrafficMatrix({(1, 1): 100.0})
+
+
+def test_negative_demand_rejected():
+    with pytest.raises(ValueError):
+        TrafficMatrix({(0, 1): -5.0})
+
+
+def test_zero_demands_pruned():
+    matrix = TrafficMatrix({(0, 1): 0.0, (1, 2): 10.0})
+    assert len(matrix) == 1
+
+
+def test_scaled():
+    matrix = TrafficMatrix({(0, 1): 10.0, (1, 0): 20.0})
+    doubled = matrix.scaled(2.0)
+    assert doubled.total_bps() == pytest.approx(60.0)
+    assert matrix.total_bps() == pytest.approx(30.0)  # original untouched
+    with pytest.raises(ValueError):
+        matrix.scaled(-1.0)
+
+
+def test_filtered():
+    matrix = TrafficMatrix({(0, 1): 10.0, (1, 0): 20.0, (0, 2): 5.0})
+    out_of_zero = matrix.filtered(lambda s, d: s == 0)
+    assert out_of_zero.total_bps() == pytest.approx(15.0)
+
+
+def test_hot_pairs():
+    matrix = TrafficMatrix.hot_pairs({(0, 5): 56_000.0})
+    assert len(matrix) == 1
+    assert matrix.total_bps() == 56_000.0
+
+
+def test_two_region_splits_load():
+    built = build_two_region_network(nodes_per_region=2)
+    matrix = TrafficMatrix.two_region(
+        built.west_ids, built.east_ids, inter_region_bps=80_000.0
+    )
+    assert matrix.total_bps() == pytest.approx(80_000.0)
+    # Every demand crosses regions.
+    west = set(built.west_ids)
+    for (src, dst), _bps in matrix:
+        assert (src in west) != (dst in west)
+
+
+def test_two_region_with_background():
+    built = build_two_region_network(nodes_per_region=3)
+    matrix = TrafficMatrix.two_region(
+        built.west_ids, built.east_ids,
+        inter_region_bps=50_000.0, intra_region_bps=30_000.0,
+    )
+    assert matrix.total_bps() == pytest.approx(80_000.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(total=st.floats(min_value=0.0, max_value=1e7))
+def test_property_gravity_total_exact(total):
+    net = build_ring_network(6)
+    matrix = TrafficMatrix.gravity(net, total)
+    assert matrix.total_bps() == pytest.approx(total, abs=1e-6)
