@@ -8,7 +8,6 @@ same equilibrium-model machinery as Figures 9-12.
 from dataclasses import replace
 
 import pytest
-from conftest import emit
 
 from repro.analysis import cobweb_trace, equilibrium_point
 from repro.experiments.base import (

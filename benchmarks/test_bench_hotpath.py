@@ -1,0 +1,58 @@
+"""Hot-path regression benchmark: events/sec and SPF updates/sec.
+
+Runs the canonical August-1987 ARPANET scenario (the workhorse of the
+Table-1 reproduction) and records kernel throughput to
+``BENCH_hotpath.json`` at the repository root, next to the
+pre-optimization numbers committed in ``BASELINE_hotpath.json``.
+
+The recorded fields:
+
+* ``events_per_s`` / ``spf_updates_per_s`` -- raw throughput of this run,
+* ``calibration_s`` -- wall time of a fixed pure-Python reference
+  workload measured alongside, used to cancel machine-speed drift
+  between the baseline recording and this one (see
+  ``hotpath_common.speedup_summary``),
+* ``speedup`` -- the comparison against the committed baseline, raw and
+  drift-normalized.
+
+The test asserts the optimized tree clears 2x the baseline's events/sec
+(drift-normalized) and that the simulation outcome (delivered packets,
+SPF work totals) is unchanged -- fast-but-wrong would be worthless.
+"""
+
+import json
+
+from hotpath_common import (
+    BENCH_PATH,
+    load_baseline,
+    measure_hotpath,
+    speedup_summary,
+)
+
+
+def test_bench_hotpath_events_per_sec():
+    baseline = load_baseline()
+    result = measure_hotpath()
+    speedup = speedup_summary(baseline, result)
+    result["speedup"] = speedup
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # Same trajectory: the optimizations must not change what happened,
+    # only how fast it was simulated.
+    assert result["delivered_packets"] == baseline["delivered_packets"]
+    assert result["offered_packets"] == baseline["offered_packets"]
+    assert result["spf_updates"] == baseline["spf_updates"]
+    assert (
+        result["spf_full_computations"] == baseline["spf_full_computations"]
+    )
+
+    normalized = speedup.get(
+        "normalized_events_per_s_speedup", speedup["events_per_s_speedup"]
+    )
+    assert normalized >= 2.0, (
+        f"hot path regressed: {normalized:.2f}x events/sec vs baseline "
+        f"(raw {speedup['events_per_s_speedup']:.2f}x, "
+        f"bench written to {BENCH_PATH})"
+    )

@@ -17,7 +17,7 @@ reported-cost axis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Sequence
 
 from repro.analysis.response_map import NetworkResponseMap
 from repro.metrics.base import LinkMetric

@@ -21,7 +21,7 @@ from __future__ import annotations
 import statistics
 from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.topology.graph import Network
 from repro.traffic.matrix import TrafficMatrix

@@ -33,17 +33,20 @@ from repro.des.events import AllOf, AnyOf, Event, Timeout
 from repro.des.process import Interrupt, Process
 from repro.des.random_streams import RandomStreams
 from repro.des.resources import Store, StoreFull
+from repro.des.timers import PeriodicTimer, TimerWheel
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
     "Interrupt",
+    "PeriodicTimer",
     "Process",
     "RandomStreams",
     "SimulationError",
     "Simulator",
     "Store",
     "StoreFull",
+    "TimerWheel",
     "Timeout",
 ]

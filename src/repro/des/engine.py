@@ -6,20 +6,41 @@ of computation can occur "instantaneously" in simulated time.
 
 Events scheduled at equal times fire in FIFO order of scheduling, which makes
 simulations fully deterministic.
+
+Two scheduling planes share the queue:
+
+* :class:`~repro.des.events.Event` / :class:`~repro.des.events.Timeout` --
+  the full synchronization primitives processes ``yield`` on;
+* *scheduled calls* (:meth:`Simulator.call_in` / :meth:`Simulator.call_soon`)
+  -- bare ``fn(*args)`` invocations at a future time.  They are the hot-path
+  fast lane: one plain ``(time, seq, fn, args)`` heap tuple per occurrence,
+  no Event, no callbacks list, no generator frame, not even a wrapper
+  object.  The packet plane (link transmitters, propagation, traffic
+  sources, periodic timers) runs on them.
 """
 
 from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from repro.des.events import Event, Timeout
+from repro.des.events import _PENDING, Event, Timeout
 from repro.des.process import Process
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class _StopRun(Exception):
+    """Internal: raised by the end-of-run sentinel to stop the loop."""
+
+
+#: Sequence number of the end-of-run sentinel entry: larger than any real
+#: sequence, so at the stop time the sentinel sorts after every entry
+#: scheduled there (runs are inclusive of events at exactly ``until``).
+_SENTINEL_SEQ = 2 ** 62
 
 
 class Simulator:
@@ -32,25 +53,44 @@ class Simulator:
     """
 
     def __init__(self, start_time: float = 0.0) -> None:
-        self._now = float(start_time)
-        # Heap entries are (time, sequence, event); sequence breaks ties
-        # deterministically in scheduling order.
-        self._queue: List[Tuple[float, int, Event]] = []
+        #: Current simulation time.  A plain attribute, not a property:
+        #: the hot paths read it hundreds of thousands of times per run.
+        #: Treat as read-only outside the kernel.
+        self.now = float(start_time)
+        # Heap entries are uniform (time, sequence, fn, args) tuples --
+        # scheduled calls directly, Events via _fire_event.  The sequence
+        # breaks ties deterministically in scheduling order and is unique,
+        # so heap comparisons never reach the payload.
+        self._queue: List[Tuple[float, int, Any]] = []
         self._sequence = count()
+        # Bound iterator step: the tie-breaking sequence is drawn on
+        # every heap push, so skip the global next() dispatch.
+        self._next_seq = self._sequence.__next__
         self._active_process: Optional[Process] = None
+        self._events_processed = 0
+        self._timers = None
 
     # ------------------------------------------------------------------
     # Clock and introspection
     # ------------------------------------------------------------------
     @property
-    def now(self) -> float:
-        """Current simulation time."""
-        return self._now
-
-    @property
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_process
+
+    @property
+    def events_processed(self) -> int:
+        """Queue entries processed so far (events + scheduled calls)."""
+        return self._events_processed
+
+    @property
+    def timers(self):
+        """The simulator's timer wheel (created on first use)."""
+        if self._timers is None:
+            from repro.des.timers import TimerWheel
+
+            self._timers = TimerWheel(self)
+        return self._timers
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -59,7 +99,7 @@ class Simulator:
         return self._queue[0][0]
 
     def __repr__(self) -> str:
-        return f"<Simulator t={self._now} pending={len(self._queue)}>"
+        return f"<Simulator t={self.now} pending={len(self._queue)}>"
 
     # ------------------------------------------------------------------
     # Event construction helpers
@@ -77,18 +117,61 @@ class Simulator:
         return Process(self, generator, name=name)
 
     # ------------------------------------------------------------------
+    # Scheduled calls (the allocation-light fast lane)
+    # ------------------------------------------------------------------
+    def call_in(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Invoke ``fn(*args)`` after ``delay`` time units."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        heapq.heappush(
+            self._queue, (self.now + delay, self._next_seq(), fn, args)
+        )
+
+    def call_soon(self, fn: Callable[..., None], *args: Any) -> None:
+        """Invoke ``fn(*args)`` at the current time, after pending events."""
+        heapq.heappush(
+            self._queue, (self.now, self._next_seq(), fn, args)
+        )
+
+    def _schedule_call_at(
+        self, when: float, fn: Callable[..., None], args: Tuple
+    ) -> None:
+        """Push a scheduled call at an absolute time (timer-wheel internal)."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when}; clock already at {self.now}"
+            )
+        heapq.heappush(self._queue, (when, self._next_seq(), fn, args))
+
+    # ------------------------------------------------------------------
     # Scheduling (kernel-internal, used by Event/Timeout)
     # ------------------------------------------------------------------
     def _schedule_at(self, when: float, event: Event) -> None:
-        if when < self._now:
+        if when < self.now:
             raise SimulationError(
-                f"cannot schedule at {when}; clock already at {self._now}"
+                f"cannot schedule at {when}; clock already at {self.now}"
             )
-        heapq.heappush(self._queue, (when, next(self._sequence), event))
+        heapq.heappush(
+            self._queue, (when, self._next_seq(), self._fire_event, (event,))
+        )
 
     def _enqueue_event(self, event: Event) -> None:
         """Schedule a just-triggered event's callbacks to run now."""
-        heapq.heappush(self._queue, (self._now, next(self._sequence), event))
+        heapq.heappush(
+            self._queue,
+            (self.now, self._next_seq(), self._fire_event, (event,)),
+        )
+
+    @staticmethod
+    def _fire_event(event: Event) -> None:
+        """Run a due event's callbacks (the non-fast-lane heap payload)."""
+        if event._value is _PENDING:
+            # A Timeout reaching its firing time: install its value now.
+            event._ok = True
+            event._value = getattr(event, "_deferred_value", None)
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
 
     # ------------------------------------------------------------------
     # Running
@@ -103,15 +186,10 @@ class Simulator:
         """
         if not self._queue:
             raise SimulationError("no events scheduled")
-        when, _seq, event = heapq.heappop(self._queue)
-        self._now = when
-        if not event.triggered:
-            # A Timeout reaching its firing time: install its value now.
-            event._ok = True
-            event._value = getattr(event, "_deferred_value", None)
-        callbacks, event.callbacks = event.callbacks, []
-        for callback in callbacks:
-            callback(event)
+        entry = heapq.heappop(self._queue)
+        self.now = entry[0]
+        self._events_processed += 1
+        entry[2](*entry[3])
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until ``until`` (inclusive of events at exactly ``until``),
@@ -120,16 +198,38 @@ class Simulator:
         After a bounded run the clock rests at ``until`` even if the last
         event fired earlier, so successive bounded runs compose naturally.
         """
-        if until is not None and until < self._now:
+        if until is not None and until < self.now:
             raise SimulationError(
-                f"cannot run until {until}; clock already at {self._now}"
+                f"cannot run until {until}; clock already at {self.now}"
             )
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                break
-            self.step()
+        # Inlined event loop: identical semantics to step(), without the
+        # per-event method call and attribute traffic.  This loop is the
+        # single hottest few lines of the whole simulator.
+        queue = self._queue
+        pop = heapq.heappop
+        bounded = until is not None
+        processed = 0
+        try:
+            while queue:
+                if bounded and queue[0][0] > until:
+                    break
+                entry = pop(queue)
+                self.now = entry[0]
+                processed += 1
+                if len(entry) == 4:
+                    entry[2](*entry[3])
+                    continue
+                item = entry[2]
+                if item._value is _PENDING:
+                    item._ok = True
+                    item._value = getattr(item, "_deferred_value", None)
+                callbacks, item.callbacks = item.callbacks, []
+                for callback in callbacks:
+                    callback(item)
+        finally:
+            self._events_processed += processed
         if until is not None:
-            self._now = float(until)
+            self.now = float(until)
 
     def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
         """Run until ``event`` triggers; return its value.

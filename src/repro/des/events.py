@@ -28,6 +28,8 @@ class Event:
         Optional label used in ``repr`` for debugging.
     """
 
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok")
+
     def __init__(self, sim: "Simulator", name: Optional[str] = None) -> None:
         self.sim = sim
         self.name = name
@@ -90,6 +92,8 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically ``delay`` time units from now."""
 
+    __slots__ = ("delay", "_deferred_value")
+
     def __init__(
         self,
         sim: "Simulator",
@@ -118,6 +122,8 @@ class Timeout(Event):
 class _Condition(Event):
     """Base for AllOf / AnyOf composite events."""
 
+    __slots__ = ("events", "_pending")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events: List[Event] = list(events)
@@ -143,6 +149,8 @@ class AllOf(_Condition):
     A failing constituent fails the condition immediately.
     """
 
+    __slots__ = ()
+
     def _process(self, event: Event) -> None:
         if self.triggered:
             return
@@ -159,6 +167,8 @@ class AnyOf(_Condition):
 
     A failing first constituent fails the condition.
     """
+
+    __slots__ = ()
 
     def _process(self, event: Event) -> None:
         if self.triggered:

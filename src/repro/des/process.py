@@ -37,6 +37,8 @@ class Process(Event):
     loop so errors never pass silently.
     """
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(
         self,
         sim: "Simulator",

@@ -34,6 +34,9 @@ class Store:
         Optional label for debugging.
     """
 
+    __slots__ = ("sim", "capacity", "name", "_items", "_getters",
+                 "_putters", "_pending_puts")
+
     def __init__(
         self,
         sim: "Simulator",

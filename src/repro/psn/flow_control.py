@@ -20,7 +20,7 @@ but rides the priority (control) queues, as RFNMs did.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Tuple
+from typing import Callable, Deque, Dict
 
 #: The ARPANET allowed 8 outstanding messages per source-destination pair.
 DEFAULT_WINDOW = 8

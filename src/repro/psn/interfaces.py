@@ -4,24 +4,38 @@ Each simplex link has a transmitter at its source PSN: a finite FIFO
 buffer for data packets, an unbounded priority queue for routing updates
 (*"routing update processing is a high priority process within the
 PSN"* -- and update delivery was reliable in the real network), and a
-process that serializes packets onto the wire at line rate, then delays
-them by the propagation time.
+transmission state machine that serializes packets onto the wire at line
+rate, then delays them by the propagation time.
 
 The transmitter is also the **measurement point**: for every data packet
 it forwards it samples queueing + processing + transmission + propagation
 delay, feeding the ten-second averager that drives the link metric.  It
 tracks busy time for utilization statistics and is where buffer-overflow
 drops (Figure 13's dropped packets) happen.
+
+This is the hottest code in the simulator -- every packet crosses a
+transmitter at every hop -- so it runs on the kernel's scheduled-call
+fast lane rather than as a generator process: starting a transmission,
+finishing it, and delivering after propagation are each one slotted heap
+entry, with no Event, Process or generator frame per packet.  The event
+ordering is identical to the original process formulation (each callback
+is scheduled exactly where the old process allocated its corresponding
+event), which is what keeps same-seed runs bit-identical.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Optional
 
-from repro.des import Simulator, Store
+from repro.des import Simulator
 from repro.psn.packet import Packet, PacketKind
 from repro.topology.graph import Link
-from repro.units import AVERAGE_PACKET_BITS
+
+#: Hot-path aliases: one global load instead of two attribute chases.
+_DATA = PacketKind.DATA
+_ROUTING_UPDATE = PacketKind.ROUTING_UPDATE
+_DISTANCE_VECTOR = PacketKind.DISTANCE_VECTOR
 
 #: Nodal processing overhead added to every forwarded packet (seconds).
 PROCESSING_DELAY_S = 0.001
@@ -56,6 +70,16 @@ class LinkTransmitter:
         Random source for error draws (required when ``error_rate`` > 0).
     """
 
+    __slots__ = (
+        "sim", "link", "deliver", "on_drop", "error_rate", "error_rng",
+        "line_error_losses", "_data", "_capacity", "_control", "_idle",
+        "_bandwidth_bps", "_propagation_s", "busy_s",
+        "bits_sent", "data_bits_sent", "data_packets_sent",
+        "control_packets_sent", "update_packets_sent", "drops",
+        "on_delay_sample", "_start_next_b", "_finish_b", "_launch_b",
+        "_arrive_b", "_call_in", "_call_soon",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -77,10 +101,19 @@ class LinkTransmitter:
         self.error_rate = error_rate
         self.error_rng = error_rng
         self.line_error_losses = 0
-        self._data = Store(sim, capacity=buffer_packets,
-                           name=f"txq-{link.link_id}")
-        self._control = Store(sim, name=f"ctlq-{link.link_id}")
-        self._wakeup = sim.event()
+        #: Plain deques, not Stores: nothing ever blocks on these
+        #: queues, so the synchronous structure keeps the per-packet
+        #: bookkeeping off the hot path.
+        self._data: deque = deque()
+        self._capacity = buffer_packets
+        self._control: deque = deque()
+        # Immutable line characteristics, copied out of the Link so the
+        # per-packet path never chases link -> line_type attributes.
+        self._bandwidth_bps = link.bandwidth_bps
+        self._propagation_s = link.propagation_s
+        #: Whether the wire is quiet and no start-transmission call is
+        #: pending.  Flipped by send(); flipped back when the queues drain.
+        self._idle = True
         self.busy_s = 0.0
         self.bits_sent = 0.0
         self.data_bits_sent = 0.0
@@ -88,9 +121,16 @@ class LinkTransmitter:
         self.control_packets_sent = 0
         self.update_packets_sent = 0
         self.drops = 0
-        self._process = sim.process(self._run(), name=f"tx-{link.link_id}")
         #: Delay samples are reported here; installed by the owning PSN.
         self.on_delay_sample: Optional[Callable[[float], None]] = None
+        # Pre-bound stage callbacks: each packet passes through all four,
+        # so the per-call bound-method allocation is worth avoiding.
+        self._start_next_b = self._start_next
+        self._finish_b = self._finish_transmission
+        self._launch_b = self._launch_propagation
+        self._arrive_b = self._arrive
+        self._call_in = sim.call_in
+        self._call_soon = sim.call_soon
 
     # ------------------------------------------------------------------
     # Enqueueing
@@ -103,15 +143,21 @@ class LinkTransmitter:
         of any queued data.
         """
         packet.enqueued_s = self.sim.now
-        if packet.kind is not PacketKind.DATA:
-            self._control.try_put(packet)
+        if packet.kind is not _DATA:
+            self._control.append(packet)
         else:
-            if not self._data.try_put(packet):
+            if len(self._data) >= self._capacity:
                 self.drops += 1
                 if self.on_drop is not None:
                     self.on_drop(packet, self.link)
                 return False
-        self._kick()
+            self._data.append(packet)
+        if self._idle:
+            # Defer to a fresh event (rather than starting synchronously)
+            # so the transmission begins after everything already queued
+            # at this instant -- the ordering the process version had.
+            self._idle = False
+            self._call_soon(self._start_next_b)
         return True
 
     def queue_length(self) -> int:
@@ -123,25 +169,19 @@ class LinkTransmitter:
         return len(self._control)
 
     # ------------------------------------------------------------------
-    # Transmission loop
+    # Transmission state machine
     # ------------------------------------------------------------------
-    def _kick(self) -> None:
-        if not self._wakeup.triggered:
-            self._wakeup.succeed()
-
-    def _next_packet(self) -> Optional[Packet]:
-        packet = self._control.try_get()
-        if packet is None:
-            packet = self._data.try_get()
-        return packet
-
-    def _run(self):
+    def _start_next(self) -> None:
+        """Begin transmitting the head-of-line packet, if any."""
+        control, data = self._control, self._data
         while True:
-            packet = self._next_packet()
-            if packet is None:
-                self._wakeup = self.sim.event()
-                yield self._wakeup
-                continue
+            if control:
+                packet = control.popleft()
+            elif data:
+                packet = data.popleft()
+            else:
+                self._idle = True
+                return
             if not self.link.up:
                 # Wire is dead: the packet is lost (counted as a drop).
                 self.drops += 1
@@ -149,35 +189,47 @@ class LinkTransmitter:
                     self.on_drop(packet, self.link)
                 continue
             queueing_s = self.sim.now - packet.enqueued_s
-            transmission_s = packet.size_bits / self.link.bandwidth_bps
-            yield self.sim.timeout(transmission_s)
-            self.busy_s += transmission_s
-            self.bits_sent += packet.size_bits
-            if packet.kind is not PacketKind.DATA:
-                self.control_packets_sent += 1
-                if packet.kind in (PacketKind.ROUTING_UPDATE,
-                                   PacketKind.DISTANCE_VECTOR):
-                    self.update_packets_sent += 1
-            if packet.kind is PacketKind.DATA:
-                self.data_packets_sent += 1
-                self.data_bits_sent += packet.size_bits
-                if self.on_delay_sample is not None:
-                    self.on_delay_sample(
-                        queueing_s
-                        + PROCESSING_DELAY_S
-                        + transmission_s
-                        + self.link.propagation_s
-                    )
-            self.sim.process(self._propagate(packet))
+            transmission_s = packet.size_bits / self._bandwidth_bps
+            self._call_in(
+                transmission_s, self._finish_b,
+                packet, queueing_s, transmission_s,
+            )
+            return
 
-    def _propagate(self, packet: Packet):
-        """Fly the packet down the wire; delivery after propagation."""
-        yield self.sim.timeout(self.link.propagation_s)
+    def _finish_transmission(
+        self, packet: Packet, queueing_s: float, transmission_s: float
+    ) -> None:
+        """The last bit left the wire: account, launch propagation, next."""
+        self.busy_s += transmission_s
+        self.bits_sent += packet.size_bits
+        if packet.kind is _DATA:
+            self.data_packets_sent += 1
+            self.data_bits_sent += packet.size_bits
+            if self.on_delay_sample is not None:
+                self.on_delay_sample(
+                    queueing_s
+                    + PROCESSING_DELAY_S
+                    + transmission_s
+                    + self._propagation_s
+                )
+        else:
+            self.control_packets_sent += 1
+            if packet.kind is _ROUTING_UPDATE or \
+                    packet.kind is _DISTANCE_VECTOR:
+                self.update_packets_sent += 1
+        self._call_soon(self._launch_b, packet)
+        self._start_next()
+
+    def _launch_propagation(self, packet: Packet) -> None:
+        self._call_in(self._propagation_s, self._arrive_b, packet)
+
+    def _arrive(self, packet: Packet) -> None:
+        """The packet finished flying down the wire; deliver it."""
         if self.error_rate > 0.0 and \
                 self.error_rng.random() < self.error_rate:
             # Destroyed by line noise: the receiver's checksum rejects it.
             self.line_error_losses += 1
-            if packet.kind is PacketKind.DATA:
+            if packet.kind is _DATA:
                 self.drops += 1
                 if self.on_drop is not None:
                     self.on_drop(packet, self.link)
@@ -193,17 +245,13 @@ class LinkTransmitter:
 
         Returns the number of data packets discarded.
         """
-        discarded = 0
-        while True:
-            packet = self._data.try_get()
-            if packet is None:
-                break
-            discarded += 1
+        discarded = len(self._data)
+        for packet in self._data:
             self.drops += 1
             if self.on_drop is not None:
                 self.on_drop(packet, self.link)
-        while self._control.try_get() is not None:
-            pass
+        self._data.clear()
+        self._control.clear()
         return discarded
 
     def take_utilization(self, interval_s: float) -> float:

@@ -24,9 +24,15 @@ from repro.psn.flow_control import RFNM_BITS, HostInterface
 from repro.psn.interfaces import PROCESSING_DELAY_S, LinkTransmitter
 from repro.psn.measurement import DelayAverager, SignificanceCriterion
 from repro.psn.packet import Packet, PacketKind
+
+#: Hot-path aliases: one global load instead of two attribute chases.
+_ROUTING_UPDATE = PacketKind.ROUTING_UPDATE
+_UPDATE_ACK = PacketKind.UPDATE_ACK
+_RFNM = PacketKind.RFNM
 from repro.routing.flooding import FloodingState, RoutingUpdate
 from repro.routing.multipath import MultipathRouter
 from repro.routing.spf import UNREACHABLE, CostTable, SpfTree
+from repro.routing.spf_cache import SpfCache
 from repro.topology.graph import Link, Network
 from repro.units import MEASUREMENT_INTERVAL_S
 
@@ -70,6 +76,13 @@ class Psn:
         Random streams (used to stagger measurement phases).
     measurement_interval_s:
         The averaging period (paper: 10 s).
+    spf_cache:
+        Optional network-wide :class:`~repro.routing.spf_cache.SpfCache`.
+        When present, per-packet forwarding consults a flat next-hop
+        table compiled from (and kept consistent with) the node's SPF
+        tree, instead of walking the tree's parent pointers; the
+        equal-cost multipath router also shares its Dijkstra trees
+        through it.  Pure speed: decisions are identical either way.
     """
 
     def __init__(
@@ -85,6 +98,7 @@ class Psn:
         multipath_mode: Optional[str] = None,
         multipath_slack: float = 0.0,
         flow_control_window: Optional[int] = None,
+        spf_cache: Optional[SpfCache] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -119,6 +133,11 @@ class Psn:
             self._advertised[link_id] = initial
 
         self.tree = SpfTree(network, node_id, self.costs)
+        # Hot-path forwarding: a flat next-hop table compiled from the
+        # tree, fetched from the shared cache and dropped whenever a
+        # routing update touches our cost table.
+        self.spf_cache = spf_cache
+        self._forwarding: Optional[list] = None
         # Optional extension: equal-cost multipath forwarding (the
         # remedy the paper's section 4.5 cites for few-large-flows
         # traffic).  The router shares our cost table and is rebuilt
@@ -127,28 +146,30 @@ class Psn:
         if multipath_mode is not None:
             self.router = MultipathRouter(
                 network, node_id, self.costs, mode=multipath_mode,
-                slack=multipath_slack,
+                slack=multipath_slack, cache=spf_cache,
             )
         offset = streams.uniform(
             f"psn-{node_id}-phase", 0.0, measurement_interval_s
         )
-        self._measurement = sim.process(
-            self._measure_loop(offset), name=f"measure-{node_id}"
+        # Periodic work rides the timer wheel: one reusable heap entry
+        # per timer instead of a Timeout + generator resumption per tick.
+        self._measurement = sim.timers.every(
+            measurement_interval_s,
+            self._close_measurement_interval,
+            first_fire_s=offset + measurement_interval_s,
         )
         # Reliable update delivery (Rosen's protocol): every update sent
         # on a link is retransmitted until the neighbour acknowledges it.
         # (link_id, update.key()) -> (update, send time).
         self._unacked: Dict[tuple, tuple] = {}
-        sim.process(self._retransmit_loop(), name=f"rexmit-{node_id}")
+        sim.timers.every(UPDATE_RETRANSMIT_S, self._retransmit_tick)
         # A booting PSN floods its links' initial (ease-in) costs --
         # otherwise the rest of the network would assume idle costs and
         # the ease-in would only exist in the owner's imagination.
         boot_jitter = streams.uniform(f"psn-{node_id}-boot", 0.0, 0.1)
-        sim.process(self._boot_advertise(boot_jitter),
-                    name=f"boot-{node_id}")
+        sim.call_in(boot_jitter, self._boot_advertise)
 
-    def _boot_advertise(self, jitter_s: float):
-        yield self.sim.timeout(jitter_s)
+    def _boot_advertise(self) -> None:
         for link_id in self.transmitters:
             if self.network.link(link_id).up:
                 self.advertise(link_id, self._advertised[link_id])
@@ -194,13 +215,14 @@ class Psn:
 
     def receive(self, packet: Packet, via: Link) -> None:
         """Handle a packet delivered by a neighbour's transmitter."""
-        if packet.kind is PacketKind.ROUTING_UPDATE:
+        kind = packet.kind
+        if kind is _ROUTING_UPDATE:
             self._handle_update(packet, via)
             return
-        if packet.kind is PacketKind.UPDATE_ACK:
+        if kind is _UPDATE_ACK:
             self._handle_ack(packet, via)
             return
-        if packet.kind is PacketKind.RFNM:
+        if kind is _RFNM:
             if packet.dst == self.node_id:
                 if self.host is not None:
                     self.host.on_rfnm(packet.src)
@@ -228,11 +250,18 @@ class Psn:
 
     def forward(self, packet: Packet) -> None:
         """Single-path, destination-based forwarding."""
-        if packet.hop_count >= MAX_HOPS:
+        if len(packet.trail) >= MAX_HOPS:
             self.stats.packet_dropped(packet, "hop-limit", self.sim.now)
             return
         if self.router is not None:
             link_id = self.router.next_hop_link(packet.dst, src=packet.src)
+        elif self.spf_cache is not None:
+            # O(1) table lookup instead of walking tree parent pointers.
+            table = self._forwarding
+            if table is None:
+                table = self._forwarding = \
+                    self.spf_cache.forwarding_table(self.tree)
+            link_id = table[packet.dst]
         else:
             link_id = self.tree.next_hop_link(packet.dst)
         if link_id is None:
@@ -243,12 +272,6 @@ class Psn:
     # ------------------------------------------------------------------
     # Measurement / update generation
     # ------------------------------------------------------------------
-    def _measure_loop(self, offset_s: float):
-        yield self.sim.timeout(offset_s)
-        while True:
-            yield self.sim.timeout(self.measurement_interval_s)
-            self._close_measurement_interval()
-
     def _close_measurement_interval(self) -> None:
         for link_id, transmitter in self.transmitters.items():
             link = self.network.link(link_id)
@@ -315,34 +338,39 @@ class Psn:
         if pending is not None and pending[0].sequence <= update.sequence:
             del self._unacked[(sent_on, update.key())]
 
-    def _retransmit_loop(self):
-        while True:
-            yield self.sim.timeout(UPDATE_RETRANSMIT_S)
-            now = self.sim.now
-            overdue: Dict[int, list] = {}
-            for (link_id, _key), (update, sent_at) in self._unacked.items():
-                if now - sent_at >= UPDATE_RETRANSMIT_S:
-                    overdue.setdefault(link_id, []).append(update)
-            for link_id, updates in overdue.items():
-                if not self.network.link(link_id).up:
-                    continue
-                if self.transmitters[link_id].control_backlog() > 0:
-                    # The originals (or a burst of other updates) have
-                    # not even left our own queue yet; retransmitting
-                    # now would only feed a control-channel congestion
-                    # collapse on slow lines.  Wait for the queue to
-                    # drain -- the ACK clock only matters once the
-                    # packets have actually been on the wire.
-                    continue
-                # The queue is drained: retransmit this link's whole
-                # overdue batch (the real protocol carried all of a
-                # node's pending costs in a single update packet).
-                for update in updates:
-                    self._transmit_update(update, link_id)
+    def _retransmit_tick(self) -> None:
+        if not self._unacked:
+            return
+        now = self.sim.now
+        overdue: Dict[int, list] = {}
+        for (link_id, _key), (update, sent_at) in self._unacked.items():
+            if now - sent_at >= UPDATE_RETRANSMIT_S:
+                overdue.setdefault(link_id, []).append(update)
+        for link_id, updates in overdue.items():
+            if not self.network.link(link_id).up:
+                continue
+            if self.transmitters[link_id].control_backlog() > 0:
+                # The originals (or a burst of other updates) have
+                # not even left our own queue yet; retransmitting
+                # now would only feed a control-channel congestion
+                # collapse on slow lines.  Wait for the queue to
+                # drain -- the ACK clock only matters once the
+                # packets have actually been on the wire.
+                continue
+            # The queue is drained: retransmit this link's whole
+            # overdue batch (the real protocol carried all of a
+            # node's pending costs in a single update packet).
+            for update in updates:
+                self._transmit_update(update, link_id)
 
     def _apply_update(self, update: RoutingUpdate) -> None:
         cost = UNREACHABLE if update.cost >= DOWN_COST else float(update.cost)
-        self.tree.update_cost(update.link_id, cost)
+        if self.tree.update_cost(update.link_id, cost):
+            # The compiled next-hop table reflects the old tree; drop it
+            # and recompile (or re-fetch from the cache) on the next
+            # packet.  No-op updates leave the tree -- and therefore the
+            # table -- untouched.
+            self._forwarding = None
         if self.router is not None:
             # The router shares our cost table (updated by the tree);
             # rebuild its equal-cost candidate sets.

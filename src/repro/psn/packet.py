@@ -28,12 +28,13 @@ class PacketKind(enum.Enum):
     DISTANCE_VECTOR = "distance-vector"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One packet in flight.
 
     Timestamps and the hop trail exist purely for measurement; the
-    forwarding plane reads only ``dst`` (and ``kind``).
+    forwarding plane reads only ``dst`` (and ``kind``).  Slotted: one of
+    these exists per packet in flight, and every hop touches it.
     """
 
     packet_id: int

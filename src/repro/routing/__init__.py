@@ -7,7 +7,9 @@
   routing-update flooding (Rosen's updating protocol, simplified),
 * :class:`~repro.routing.bellman_ford.BellmanFordNode` -- the original
   1969 distributed Bellman-Ford algorithm with the instantaneous
-  queue-length metric, kept as a historical baseline.
+  queue-length metric, kept as a historical baseline,
+* :class:`~repro.routing.spf_cache.SpfCache` -- network-wide sharing of
+  Dijkstra trees and compiled O(1) next-hop forwarding tables.
 """
 
 from repro.routing.bellman_ford import (
@@ -18,6 +20,11 @@ from repro.routing.bellman_ford import (
 from repro.routing.flooding import FloodingState, FloodingStats, RoutingUpdate
 from repro.routing.multipath import MultipathRouter
 from repro.routing.spf import UNREACHABLE, CostTable, SpfStats, SpfTree
+from repro.routing.spf_cache import (
+    SpfCache,
+    SpfCacheStats,
+    compile_forwarding_table,
+)
 
 __all__ = [
     "BellmanFordNode",
@@ -26,9 +33,12 @@ __all__ = [
     "FloodingStats",
     "MultipathRouter",
     "RoutingUpdate",
+    "SpfCache",
+    "SpfCacheStats",
     "SpfStats",
     "SpfTree",
     "UNREACHABLE",
+    "compile_forwarding_table",
     "has_routing_loop",
     "queue_length_metric",
 ]

@@ -35,10 +35,18 @@ class RoutingUpdate:
     link_id: int
     cost: int
     sequence: int
+    #: Cached (origin, link_id); computed once, read on every accept,
+    #: transmit and acknowledgement.
+    _key: Tuple[int, int] = field(
+        init=False, repr=False, compare=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_key", (self.origin, self.link_id))
 
     def key(self) -> Tuple[int, int]:
         """Identity of the sequence-number space this update lives in."""
-        return (self.origin, self.link_id)
+        return self._key
 
 
 @dataclass

@@ -23,10 +23,13 @@ destination.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.routing.spf import CostTable, SpfTree
 from repro.topology.graph import Network
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.routing.spf_cache import SpfCache
 
 #: Relative slack when comparing float path costs for equality.
 _COST_TOLERANCE = 1e-9
@@ -53,6 +56,12 @@ class MultipathRouter:
         cannot know all future costs, so callers must respect this.
         Half a hop (15 units) is safe for the standard line types,
         whose costs never fall below 22.
+    cache:
+        Optional shared :class:`~repro.routing.spf_cache.SpfCache`.
+        Recomputes need a Dijkstra tree per neighbour; with a shared
+        cache, nodes whose cost fingerprints agree (the common, converged
+        case) compute each tree once network-wide instead of once per
+        router.  Results are identical with or without it.
     """
 
     def __init__(
@@ -62,6 +71,7 @@ class MultipathRouter:
         costs: CostTable,
         mode: str = "flow",
         slack: float = 0.0,
+        cache: Optional["SpfCache"] = None,
     ) -> None:
         if mode not in ("flow", "packet"):
             raise ValueError(f"mode must be 'flow' or 'packet', got {mode!r}")
@@ -72,6 +82,7 @@ class MultipathRouter:
         self.costs = costs
         self.mode = mode
         self.slack = slack
+        self.cache = cache
         self._round_robin: Dict[int, int] = {}
         self._candidates: Dict[int, List[int]] = {}
         self.recompute()
@@ -81,13 +92,20 @@ class MultipathRouter:
     # ------------------------------------------------------------------
     def recompute(self) -> None:
         """Rebuild the per-destination candidate first-hop sets."""
-        own_tree = SpfTree(self.network, self.root, self.costs.copy())
-        neighbour_trees = {
-            link.link_id: SpfTree(
-                self.network, link.dst, self.costs.copy()
-            )
-            for link in self.network.out_links(self.root)
-        }
+        if self.cache is not None:
+            own_tree = self.cache.shared_tree(self.root, self.costs)
+            neighbour_trees = {
+                link.link_id: self.cache.shared_tree(link.dst, self.costs)
+                for link in self.network.out_links(self.root)
+            }
+        else:
+            own_tree = SpfTree(self.network, self.root, self.costs.copy())
+            neighbour_trees = {
+                link.link_id: SpfTree(
+                    self.network, link.dst, self.costs.copy()
+                )
+                for link in self.network.out_links(self.root)
+            }
         candidates: Dict[int, List[int]] = {}
         for dest in self.network.nodes:
             if dest == self.root or not own_tree.reachable(dest):

@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import count
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Set
 
 from repro.topology.graph import Network
 
@@ -57,9 +57,16 @@ class SpfStats:
 
 @dataclass
 class CostTable:
-    """A node's view of every link's cost, indexed by link id."""
+    """A node's view of every link's cost, indexed by link id.
+
+    Mutate only through ``table[link_id] = cost`` -- besides validating,
+    that keeps the cached fingerprint (see :meth:`cache_key`) honest.
+    """
 
     costs: List[float]
+
+    def __post_init__(self) -> None:
+        self._key: Optional[tuple] = None
 
     @classmethod
     def uniform(cls, network: Network, cost: float) -> "CostTable":
@@ -77,9 +84,23 @@ class CostTable:
         if cost < 0:
             raise ValueError(f"link cost must be >= 0, got {cost}")
         self.costs[link_id] = cost
+        self._key = None
 
     def copy(self) -> "CostTable":
         return CostTable(list(self.costs))
+
+    def cache_key(self) -> tuple:
+        """The table's contents as a hashable fingerprint.
+
+        Two tables with equal keys route identically; the network-wide
+        SPF cache (:mod:`repro.routing.spf_cache`) uses this to share
+        Dijkstra results between nodes whose cost views agree.  Cached
+        between mutations, so repeated lookups are free.
+        """
+        key = self._key
+        if key is None:
+            key = self._key = tuple(self.costs)
+        return key
 
 
 class SpfTree:
@@ -140,7 +161,7 @@ class SpfTree:
     # ------------------------------------------------------------------
     # Incremental update
     # ------------------------------------------------------------------
-    def update_cost(self, link_id: int, new_cost: float) -> None:
+    def update_cost(self, link_id: int, new_cost: float) -> bool:
         """Apply one link-cost change, adjusting only the affected region.
 
         Implements the classic incremental SPF cases:
@@ -150,12 +171,16 @@ class SpfTree:
           link's head,
         * cost increase on a tree link: detach the affected subtree and
           re-attach it through its best boundary links.
+
+        Returns ``True`` when the tree was adjusted and ``False`` for a
+        no-op, so callers can keep routing state derived from the tree
+        (e.g. a compiled forwarding table) across no-op updates.
         """
         old_cost = self.costs[link_id]
         self.costs[link_id] = new_cost
         if new_cost == old_cost:
             self.stats.no_op_updates += 1
-            return
+            return False
         link = self.network.link(link_id)
         in_tree = self.parent_link.get(link.dst) == link_id
 
@@ -163,21 +188,22 @@ class SpfTree:
             base = self.dist[link.src]
             if math.isinf(base):
                 self.stats.no_op_updates += 1
-                return
+                return False
             if in_tree or base + new_cost < self.dist[link.dst]:
                 self.stats.incremental_updates += 1
                 self._propagate_improvement(link_id)
-            else:
-                self.stats.no_op_updates += 1
-            return
+                return True
+            self.stats.no_op_updates += 1
+            return False
 
         # Cost increased.
         if not in_tree:
             # "the algorithm does not recompute any part of the tree"
             self.stats.no_op_updates += 1
-            return
+            return False
         self.stats.incremental_updates += 1
         self._reattach_subtree(link.dst)
+        return True
 
     def _propagate_improvement(self, link_id: int) -> None:
         """Relax outward from a link whose cost dropped."""

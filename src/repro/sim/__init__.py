@@ -5,20 +5,34 @@
 * :class:`~repro.sim.network_sim.ScenarioConfig` -- run parameters,
 * :class:`~repro.sim.stats.StatsCollector` /
   :class:`~repro.sim.stats.SimulationReport` -- measurement and the
-  Table-1-style summary.
+  Table-1-style summary,
+* :func:`~repro.sim.parallel.run_many` / :class:`~repro.sim.parallel.RunSpec`
+  -- deterministic fan-out of independent runs across processes.
 """
 
 from repro.sim.legacy_sim import BellmanFordSimulation
 from repro.sim.network_sim import NetworkSimulation, ScenarioConfig
+from repro.sim.parallel import (
+    RunSpec,
+    replicate,
+    replication_seeds,
+    run_many,
+    run_spec,
+)
 from repro.sim.scenarios import build_scenario, scenario_names
 from repro.sim.stats import SimulationReport, StatsCollector
 
 __all__ = [
     "BellmanFordSimulation",
     "NetworkSimulation",
+    "RunSpec",
     "ScenarioConfig",
     "SimulationReport",
     "StatsCollector",
     "build_scenario",
+    "replicate",
+    "replication_seeds",
+    "run_many",
+    "run_spec",
     "scenario_names",
 ]

@@ -31,6 +31,7 @@ from repro.metrics.base import LinkMetric
 from repro.psn.interfaces import DEFAULT_BUFFER_PACKETS, LinkTransmitter
 from repro.psn.node import Psn
 from repro.psn.packet import Packet, PacketKind
+from repro.routing.spf_cache import SpfCache
 from repro.sim.stats import SimulationReport, StatsCollector
 from repro.topology.graph import Link, Network
 from repro.traffic.matrix import TrafficMatrix
@@ -69,6 +70,10 @@ class ScenarioConfig:
     #: errors, a destroyed RFNM permanently consumes window share (the
     #: pre-timeout IMP behaved the same way).
     flow_control_window: Optional[int] = None
+    #: Share SPF results network-wide and forward via compiled next-hop
+    #: tables.  Pure speed -- same-seed runs are bit-identical with it
+    #: off -- so it only exists as a knob for A/B verification.
+    spf_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -102,6 +107,10 @@ class NetworkSimulation:
         self.sim = Simulator()
         self.streams = RandomStreams(self.config.seed)
         self.stats = StatsCollector(network, warmup_s=self.config.warmup_s)
+        #: One SPF cache for the whole network (None = disabled).
+        self.spf_cache: Optional[SpfCache] = (
+            SpfCache(network) if self.config.spf_cache else None
+        )
 
         self.transmitters: Dict[int, LinkTransmitter] = {
             link.link_id: LinkTransmitter(
@@ -133,9 +142,16 @@ class NetworkSimulation:
                 multipath_mode=self.config.multipath,
                 multipath_slack=self.config.multipath_slack,
                 flow_control_window=self.config.flow_control_window,
+                spf_cache=self.spf_cache,
             )
             for node in network
         }
+        # Short-circuit delivery: hand each transmitter the destination
+        # PSN's receive method directly, skipping the _deliver dispatch
+        # for every packet at every hop.  (_deliver stays as the generic
+        # entry point for transmitters created without this wiring.)
+        for transmitter in self.transmitters.values():
+            transmitter.deliver = self.psns[transmitter.link.dst].receive
         self.sources = start_sources(
             self.sim,
             self.streams,
@@ -162,20 +178,20 @@ class NetworkSimulation:
     # ------------------------------------------------------------------
     def fail_circuit_at(self, link_id: int, at_s: float) -> None:
         """Schedule a full-duplex circuit failure."""
-        self.sim.process(self._fail_circuit(link_id, at_s))
+        self.sim.call_in(max(at_s - self.sim.now, 0.0),
+                         self._fail_circuit, link_id)
 
     def restore_circuit_at(self, link_id: int, at_s: float) -> None:
         """Schedule a circuit recovery (HN-SPF will ease it in)."""
-        self.sim.process(self._restore_circuit(link_id, at_s))
+        self.sim.call_in(max(at_s - self.sim.now, 0.0),
+                         self._restore_circuit, link_id)
 
-    def _fail_circuit(self, link_id: int, at_s: float):
-        yield self.sim.timeout(max(at_s - self.sim.now, 0.0))
+    def _fail_circuit(self, link_id: int) -> None:
         affected = self.network.set_circuit_state(link_id, up=False)
         for link in affected:
             self.psns[link.src].local_link_down(link.link_id)
 
-    def _restore_circuit(self, link_id: int, at_s: float):
-        yield self.sim.timeout(max(at_s - self.sim.now, 0.0))
+    def _restore_circuit(self, link_id: int) -> None:
         affected = self.network.set_circuit_state(link_id, up=True)
         for link in affected:
             self.psns[link.src].local_link_up(link.link_id)

@@ -1,0 +1,104 @@
+"""Parallel execution of independent simulation runs.
+
+The paper's performance study -- and any Monte-Carlo use of this repo --
+needs many *independent* replications: the same scenario under different
+seeds, or different scenarios side by side.  Each run is a separate
+process-sized unit of work (one :class:`~repro.des.engine.Simulator`,
+one network), so the natural speedup is process-level fan-out.
+
+:func:`run_many` executes a list of :class:`RunSpec` across a process
+pool and returns their :class:`~repro.sim.stats.SimulationReport` in
+input order.  Determinism is preserved in both senses:
+
+* each run's result depends only on its spec (scenario + config), never
+  on scheduling, pool size, or which worker picked it up;
+* :func:`replication_seeds` derives per-replication master seeds from a
+  single experiment seed through the same SHA-256 construction
+  :class:`~repro.des.random_streams.RandomStreams` uses for named
+  streams, so replication *k* of an experiment is the same run no matter
+  how many replications surround it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from repro.des.random_streams import RandomStreams
+from repro.sim.network_sim import ScenarioConfig
+from repro.sim.scenarios import build_scenario
+from repro.sim.stats import SimulationReport
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation run: a named scenario plus its config.
+
+    Specs are plain picklable data -- the scenario is rebuilt inside the
+    worker process -- so a spec is also a complete, storable description
+    of how to reproduce the run.
+    """
+
+    scenario: str
+    config: ScenarioConfig = field(default_factory=ScenarioConfig)
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        """This spec with a different master seed (a replication)."""
+        return RunSpec(self.scenario, replace(self.config, seed=seed))
+
+
+def run_spec(spec: RunSpec) -> SimulationReport:
+    """Build and run one spec to completion (the worker-side function)."""
+    simulation = build_scenario(spec.scenario, config=spec.config)
+    return simulation.run()
+
+
+def replication_seeds(master_seed: int, count: int) -> List[int]:
+    """``count`` independent master seeds derived from ``master_seed``.
+
+    Uses :class:`RandomStreams`' named-stream derivation (SHA-256 over
+    ``"<master_seed>:replication-<k>"``), so seed *k* is a pure function
+    of ``(master_seed, k)``: extending an experiment from 10 to 100
+    replications never changes the first 10 runs.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    streams = RandomStreams(master_seed)
+    return [
+        streams.stream(f"replication-{k}").getrandbits(48)
+        for k in range(count)
+    ]
+
+
+def replicate(spec: RunSpec, master_seed: int, count: int) -> List[RunSpec]:
+    """``count`` replications of ``spec`` under derived seeds."""
+    return [
+        spec.with_seed(seed)
+        for seed in replication_seeds(master_seed, count)
+    ]
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    processes: Optional[int] = None,
+) -> List[SimulationReport]:
+    """Run every spec, fanning out across worker processes.
+
+    Parameters
+    ----------
+    specs:
+        The runs to execute.  Results come back in input order.
+    processes:
+        Worker pool size; ``None`` lets the executor pick one per CPU.
+        ``processes <= 1`` (or fewer than two specs) runs serially in
+        this process -- same results, no pool overhead -- so callers can
+        always use :func:`run_many` and tune ``processes`` freely.
+    """
+    specs = list(specs)
+    if processes is not None and processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    if (processes is not None and processes == 1) or len(specs) < 2:
+        return [run_spec(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        return list(pool.map(run_spec, specs))

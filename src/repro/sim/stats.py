@@ -10,7 +10,7 @@ counts for Figure 13.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.psn.packet import Packet
@@ -104,6 +104,9 @@ class StatsCollector:
         self.utilization_history: Dict[int, List[Tuple[float, float]]] = \
             defaultdict(list)
         self._min_hop_trees: Dict[int, SpfTree] = {}
+        # Per-pair memo over the trees above (one walk per pair, not per
+        # delivered packet).
+        self._min_hop_pairs: Dict[Tuple[int, int], int] = {}
         self._first_event_s: Optional[float] = None
         self._last_event_s: float = 0.0
 
@@ -132,7 +135,12 @@ class StatsCollector:
         self._sample_delay(now - packet.created_s)
         self.bits_delivered += packet.size_bits
         self.hops_sum += packet.hop_count
-        self.min_hops_sum += self.min_hop_distance(packet.src, packet.dst)
+        pair = (packet.src, packet.dst)
+        min_hops = self._min_hop_pairs.get(pair)
+        if min_hops is None:
+            min_hops = self._min_hop_pairs[pair] = \
+                self.min_hop_distance(*pair)
+        self.min_hops_sum += min_hops
 
     def packet_dropped(self, packet: Packet, reason: str, now: float) -> None:
         if now < self.warmup_s:

@@ -91,6 +91,14 @@ class Network:
         self._out_links: Dict[int, List[int]] = {}
         self._in_links: Dict[int, List[int]] = {}
         self._by_name: Dict[str, int] = {}
+        #: Bumped on any structural or up/down change; cached SPF results
+        #: (see repro.routing.spf_cache) key on it, so a link failure or
+        #: recovery implicitly invalidates every tree computed before it.
+        self.topology_version = 0
+        # Up-links-only adjacency, rebuilt lazily after each topology
+        # change.  out_links() is called for every SPF scan and every
+        # flooded update, so the filtered lists are worth keeping.
+        self._up_out_cache: Dict[int, List[Link]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -123,6 +131,8 @@ class Network:
         self.links.append(link)
         self._out_links[src].append(link.link_id)
         self._in_links[dst].append(link.link_id)
+        self.topology_version += 1
+        self._up_out_cache.clear()
         return link
 
     def add_circuit(
@@ -158,9 +168,21 @@ class Network:
         return self.links[link_id]
 
     def out_links(self, node_id: int, include_down: bool = False) -> List[Link]:
-        """Links leaving ``node_id`` (up links only, by default)."""
-        links = (self.links[i] for i in self._out_links[node_id])
-        return [l for l in links if include_down or l.up]
+        """Links leaving ``node_id`` (up links only, by default).
+
+        The up-links-only list is cached until the next topology change;
+        treat the result as read-only.
+        """
+        if include_down:
+            return [self.links[i] for i in self._out_links[node_id]]
+        cached = self._up_out_cache.get(node_id)
+        if cached is None:
+            cached = self._up_out_cache[node_id] = [
+                self.links[i]
+                for i in self._out_links[node_id]
+                if self.links[i].up
+            ]
+        return cached
 
     def in_links(self, node_id: int, include_down: bool = False) -> List[Link]:
         """Links entering ``node_id`` (up links only, by default)."""
@@ -206,6 +228,8 @@ class Network:
             reverse = self.links[link.reverse_id]
             reverse.up = up
             affected.append(reverse)
+        self.topology_version += 1
+        self._up_out_cache.clear()
         return affected
 
     # ------------------------------------------------------------------

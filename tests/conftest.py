@@ -1,0 +1,31 @@
+"""Shared pytest configuration: the fast/slow test tiers.
+
+The default run (``pytest -x -q``) is the fast tier: everything not
+marked ``slow``, intended to finish well under 90 seconds so it can
+gate every commit.  Tests marked ``@pytest.mark.slow`` -- the long
+packet-level simulations and multi-scenario sweeps -- are skipped
+unless ``--runslow`` is given:
+
+    pytest -x -q             # fast tier
+    pytest -x -q --runslow   # everything
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked @pytest.mark.slow",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -1,0 +1,36 @@
+"""Record the golden snapshots (run against the pre-optimization tree).
+
+Usage::
+
+    PYTHONPATH=src python -m tests.golden.capture
+
+Overwrites ``tests/golden/reports.json``.  Only rerun this when a
+*behaviour* change is intended and reviewed; the whole point of the file
+is that pure-performance PRs cannot move it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from tests.golden.cases import CASES, run_case
+
+GOLDEN_PATH = pathlib.Path(__file__).resolve().parent / "reports.json"
+
+
+def main() -> None:
+    snapshots = {}
+    for name in sorted(CASES):
+        start = time.perf_counter()
+        snapshots[name] = run_case(name)
+        print(f"{name}: {time.perf_counter() - start:.2f}s")
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(snapshots, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Golden-snapshot cases: same-seed runs that must never change.
+
+Each case builds and runs one simulation whose :class:`SimulationReport`
+was recorded from the pre-optimization tree.  The hot-path layer (SPF
+cache, forwarding tables, DES fast path) is required to be a *pure*
+speed change, so every one of these runs must stay bit-identical --
+including the full reported-cost history, which pins the routing
+dynamics, not just the packet totals.
+
+The case set deliberately crosses every forwarding feature: plain
+single-path, equal-cost multipath (both modes), line errors, RFNM flow
+control, and a link failure/recovery (topology up/down invalidation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Callable, Dict
+
+from repro.metrics import DelayMetric, HopNormalizedMetric
+from repro.sim import NetworkSimulation, ScenarioConfig, build_scenario
+from repro.topology import build_ring_network, build_two_region_network
+from repro.traffic import TrafficMatrix
+
+
+def _ring(metric, config: ScenarioConfig, nodes: int = 4,
+          total_bps: float = 40_000.0) -> NetworkSimulation:
+    network = build_ring_network(nodes)
+    traffic = TrafficMatrix.uniform(network, total_bps=total_bps)
+    return NetworkSimulation(network, metric, traffic, config)
+
+
+def _case_arpanet_aug87():
+    simulation = build_scenario("aug87", duration_s=30.0, warmup_s=10.0,
+                                seed=3)
+    return simulation, simulation.run()
+
+
+def _case_two_region_hnspf():
+    simulation = build_scenario("two-region-hnspf", duration_s=60.0,
+                                warmup_s=10.0, seed=1)
+    return simulation, simulation.run()
+
+
+def _case_ring_multipath_flow():
+    simulation = _ring(
+        HopNormalizedMetric(),
+        ScenarioConfig(duration_s=60.0, warmup_s=10.0, seed=0,
+                       multipath="flow"),
+    )
+    return simulation, simulation.run()
+
+
+def _case_ring_multipath_packet():
+    simulation = _ring(
+        HopNormalizedMetric(),
+        ScenarioConfig(duration_s=60.0, warmup_s=10.0, seed=0,
+                       multipath="packet"),
+    )
+    return simulation, simulation.run()
+
+
+def _case_ring_errors_flow_control():
+    simulation = _ring(
+        DelayMetric(),
+        ScenarioConfig(duration_s=60.0, warmup_s=10.0, seed=2,
+                       line_error_rate=0.01, flow_control_window=8),
+    )
+    return simulation, simulation.run()
+
+
+def _case_failure_recovery():
+    built = build_two_region_network(nodes_per_region=3)
+    traffic = TrafficMatrix.two_region(
+        built.west_ids, built.east_ids, inter_region_bps=60_000.0
+    )
+    simulation = NetworkSimulation(
+        built.network, HopNormalizedMetric(), traffic,
+        ScenarioConfig(duration_s=90.0, warmup_s=10.0, seed=5),
+    )
+    bridge = built.bridge_a[0].link_id
+    simulation.fail_circuit_at(bridge, 30.0)
+    simulation.restore_circuit_at(bridge, 60.0)
+    return simulation, simulation.run()
+
+
+CASES: Dict[str, Callable] = {
+    "arpanet-aug87": _case_arpanet_aug87,
+    "two-region-hnspf": _case_two_region_hnspf,
+    "ring-multipath-flow": _case_ring_multipath_flow,
+    "ring-multipath-packet": _case_ring_multipath_packet,
+    "ring-errors-flow-control": _case_ring_errors_flow_control,
+    "failure-recovery": _case_failure_recovery,
+}
+
+
+def run_case(name: str) -> Dict:
+    """Run one case, returning its comparable snapshot dict."""
+    simulation, report = CASES[name]()
+    digest = hashlib.sha256()
+    for when, link_id, cost in simulation.stats.cost_history:
+        digest.update(f"{when!r}:{link_id}:{cost};".encode())
+    return {
+        "report": dataclasses.asdict(report),
+        "cost_history_sha256": digest.hexdigest(),
+        "cost_history_len": len(simulation.stats.cost_history),
+    }

@@ -3,9 +3,9 @@
 import pytest
 
 from repro.metrics import DelayMetric, HopNormalizedMetric
-from repro.psn.node import DOWN_COST, MAX_HOPS
+from repro.psn.node import DOWN_COST
 from repro.sim import NetworkSimulation, ScenarioConfig
-from repro.topology import Network, build_ring_network, line_type
+from repro.topology import build_ring_network
 from repro.traffic import TrafficMatrix
 
 
@@ -75,9 +75,12 @@ def test_hop_limit_drops_looping_packets():
     sim = NetworkSimulation(net, HopNormalizedMetric(), traffic,
                             quiet_config())
     sim.run(until_s=20.0)
-    # Sabotage: node 1 sends everything for 2 back toward 0.
+    # Sabotage: node 1 sends everything for 2 back toward 0.  Knock the
+    # node off the compiled-table fast path first so the monkeypatched
+    # next_hop_link below is actually consulted per packet.
     back_link = net.links_between(1, 0)[0].link_id
-    sim.psns[1].tree.parent_link[2] = net.links_between(0, 2)  # invalid
+    sim.psns[1].spf_cache = None
+    sim.psns[1]._forwarding = None
     original = sim.psns[1].tree.next_hop_link
 
     def evil_next_hop(dest):

@@ -5,8 +5,6 @@ acknowledged; lost updates are repaired within a retransmission interval
 rather than waiting for the 50-second keepalive.
 """
 
-import pytest
-
 from repro.metrics import HopNormalizedMetric
 from repro.psn.node import UPDATE_RETRANSMIT_S
 from repro.sim import NetworkSimulation, ScenarioConfig

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.routing import FloodingState, RoutingUpdate
-from repro.topology import Network, build_ring_network, line_type
+from repro.topology import build_ring_network
 
 
 @pytest.fixture

@@ -208,3 +208,51 @@ def test_property_next_hops_stay_consistent(seed, changes):
                 assert link_id is not None
                 node = net.link(link_id).dst
             assert node == dest
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    n=st.integers(min_value=3, max_value=12),
+    extra=st.integers(min_value=0, max_value=8),
+    changes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10 ** 6),
+            st.one_of(
+                st.floats(min_value=0.1, max_value=100.0),
+                st.just(UNREACHABLE),
+            ),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+def test_property_noop_accounting_and_change_flag(seed, n, extra, changes):
+    """``update_cost`` returns False exactly for accounted no-ops, and a
+    False return guarantees the tree (routes *and* distances) did not
+    move -- the contract the compiled-forwarding-table invalidation in
+    :mod:`repro.psn.node` relies on."""
+    net = build_random_network(n, extra_circuits=extra, seed=seed)
+    tree = SpfTree(net, 0, CostTable.uniform(net, 1.0))
+    for raw_link, cost in changes:
+        link_id = raw_link % len(net.links)
+        noops_before = tree.stats.no_op_updates
+        incremental_before = tree.stats.incremental_updates
+        dist_before = dict(tree.dist)
+        parents_before = dict(tree.parent_link)
+        changed = tree.update_cost(link_id, cost)
+        if changed:
+            assert tree.stats.incremental_updates == incremental_before + 1
+            assert tree.stats.no_op_updates == noops_before
+        else:
+            assert tree.stats.no_op_updates == noops_before + 1
+            assert tree.stats.incremental_updates == incremental_before
+            assert tree.dist == dist_before
+            assert tree.parent_link == parents_before
+        # Either way the tree must agree with a from-scratch build.
+        fresh = SpfTree(net, 0, tree.costs.copy())
+        for node in net.nodes:
+            if math.isinf(fresh.dist[node]):
+                assert math.isinf(tree.dist[node])
+            else:
+                assert tree.dist[node] == pytest.approx(fresh.dist[node])

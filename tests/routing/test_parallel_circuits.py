@@ -1,7 +1,5 @@
 """Multigraph behaviour: parallel circuits between the same PSN pair."""
 
-import pytest
-
 from repro.metrics import HopNormalizedMetric
 from repro.routing import CostTable, MultipathRouter, SpfTree
 from repro.sim import NetworkSimulation, ScenarioConfig

@@ -1,7 +1,5 @@
 """Unit tests for full SPF computation and queries."""
 
-import math
-
 import pytest
 
 from repro.routing import CostTable, SpfTree, UNREACHABLE

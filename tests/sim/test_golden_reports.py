@@ -1,0 +1,44 @@
+"""Golden same-seed regression: optimized runs must stay bit-identical.
+
+The hot-path layer (SPF cache, compiled forwarding tables, DES fast
+path) promises to be *pure* speed: same seed, same
+:class:`SimulationReport`, same reported-cost history, bit for bit.
+``tests/golden/reports.json`` holds snapshots recorded from the
+pre-optimization tree; this test replays each case and compares the
+full snapshot, including the SHA-256 of the cost history that pins the
+routing dynamics.
+
+If one of these fails, a change altered simulation *behavior*, not just
+speed.  Either find the unintended divergence, or -- if the behavior
+change is deliberate and documented -- re-record with
+``PYTHONPATH=src:tests python tests/golden/capture.py``.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from tests.golden.cases import CASES, run_case
+
+GOLDEN_PATH = pathlib.Path(__file__).resolve().parent.parent / "golden"
+
+
+def _golden():
+    with open(GOLDEN_PATH / "reports.json") as handle:
+        return json.load(handle)
+
+
+def test_every_case_has_a_snapshot():
+    assert sorted(_golden()) == sorted(CASES)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_report_identical(name):
+    golden = _golden()[name]
+    snapshot = run_case(name)
+    assert snapshot["cost_history_len"] == golden["cost_history_len"]
+    assert snapshot["cost_history_sha256"] == golden["cost_history_sha256"], (
+        f"{name}: reported-cost history diverged from the recorded run"
+    )
+    assert snapshot["report"] == golden["report"]

@@ -5,24 +5,43 @@ one, this is where it shows up.  They run as real subprocesses, exactly
 as a user would invoke them.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
 
-def run_example(name, timeout=600):
+def example_env():
+    """Subprocess environment with ``src`` importable.
+
+    The test process finds ``repro`` via its own PYTHONPATH (or an
+    installed package), but the example subprocess starts fresh, so the
+    source tree must be injected explicitly.
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    current = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not current else os.pathsep.join(
+        [src, current]
+    )
+    return env
+
+
+def run_example(name, timeout=600, cwd=EXAMPLES_DIR):
     return subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name)],
         capture_output=True,
         text=True,
         timeout=timeout,
-        cwd=EXAMPLES_DIR,
+        cwd=cwd,
+        env=example_env(),
     )
 
 
@@ -67,12 +86,7 @@ def test_link_failure_recovery_runs():
 
 @pytest.mark.slow
 def test_capacity_planning_runs(tmp_path):
-    result = subprocess.run(
-        [sys.executable, str(EXAMPLES_DIR / "capacity_planning.py")],
-        capture_output=True,
-        text=True,
-        timeout=600,
-        cwd=tmp_path,  # the script writes capacity_sweep.csv to cwd
-    )
+    # the script writes capacity_sweep.csv to cwd
+    result = run_example("capacity_planning.py", cwd=tmp_path)
     assert result.returncode == 0, result.stderr
     assert (tmp_path / "capacity_sweep.csv").exists()
