@@ -1,0 +1,202 @@
+"""Large-network scaling benchmark: events/sec vs node count.
+
+Runs the scenario ladder -- aug87 (57 nodes), grid64 (64), rand256
+(256), rand512 (512) -- under three kernel configurations:
+
+* ``heap+perlink``   -- binary-heap scheduler, one incremental SPF pass
+  per routing update (the default small-network path),
+* ``heap+batched``   -- heap scheduler, buffered updates applied in one
+  batched SPF pass per routing interval,
+* ``calendar+batched`` -- the large-network fast path: calendar-queue
+  scheduler plus batched SPF.
+
+Results go to ``BENCH_scale.json`` at the repository root.  Within one
+recording the configurations are *interleaved* (config A, B, C, then A,
+B, C again) and each keeps its best wall time, so machine-speed drift
+during the session hits every configuration alike and the speedup
+ratios are drift-normalized by construction.  A ``calibration_s``
+reference-workload time is stored alongside for comparing recordings
+made on different days or machines (same convention as
+``BENCH_hotpath.json``).
+
+The short runs deliberately include each network's boot flood: a
+512-node network flooding link-state updates over ~1300 links is
+exactly the update-storm regime the batched SPF pass and the bucketed
+scheduler exist for.
+
+Environment knobs (for the informational CI job):
+
+* ``SCALE_BENCH_REPEATS``   -- interleaved rounds (default 2),
+* ``SCALE_BENCH_SCENARIOS`` -- comma-separated subset of the ladder.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from hotpath_common import calibrate
+
+from repro.sim import build_scenario
+from repro.sim.network_sim import ScenarioConfig
+
+BENCH_SCALE_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+)
+
+#: Scenario ladder, smallest first.  Durations shrink as networks grow
+#: so every rung costs the same order of wall time.
+LADDER = [
+    {"name": "aug87", "duration_s": 20.0, "warmup_s": 5.0},
+    {"name": "grid64", "duration_s": 20.0, "warmup_s": 5.0},
+    {"name": "rand256", "duration_s": 6.0, "warmup_s": 2.0},
+    {"name": "rand512", "duration_s": 3.0, "warmup_s": 2.0},
+]
+
+CONFIGS = {
+    "heap+perlink": {"scheduler": "heap", "batched_spf": False},
+    "heap+batched": {"scheduler": "heap", "batched_spf": True},
+    "calendar+batched": {"scheduler": "calendar", "batched_spf": True},
+}
+
+SEED = 3
+
+#: The acceptance bar: the fast path must beat the small-network path
+#: by at least this factor on the 512-node scenario.
+RAND512_MIN_SPEEDUP = 1.5
+
+
+def _ladder():
+    subset = os.environ.get("SCALE_BENCH_SCENARIOS")
+    if not subset:
+        return LADDER
+    wanted = {name.strip() for name in subset.split(",") if name.strip()}
+    return [rung for rung in LADDER if rung["name"] in wanted]
+
+
+def _run_once(rung, config_name):
+    config = ScenarioConfig(
+        duration_s=rung["duration_s"],
+        warmup_s=rung["warmup_s"],
+        seed=SEED,
+        **CONFIGS[config_name],
+    )
+    simulation = build_scenario(rung["name"], config=config)
+    start = time.perf_counter()
+    report = simulation.run()
+    wall_s = time.perf_counter() - start
+    return {
+        "nodes": len(simulation.network.nodes),
+        "links": len(simulation.network.links),
+        "wall_s": wall_s,
+        "events": simulation.sim.events_processed,
+        "delivered_packets": report.delivered_packets,
+        "offered_packets": report.offered_packets,
+    }
+
+
+def measure_scaling(repeats):
+    """Interleaved best-of-``repeats`` measurement of the whole ladder."""
+    ladder = _ladder()
+    results = {rung["name"]: {} for rung in ladder}
+    for _ in range(max(repeats, 1)):
+        for rung in ladder:
+            for config_name in CONFIGS:
+                sample = _run_once(rung, config_name)
+                kept = results[rung["name"]].get(config_name)
+                if kept is None or sample["wall_s"] < kept["wall_s"]:
+                    results[rung["name"]][config_name] = sample
+
+    scenarios = []
+    for rung in ladder:
+        configs = {}
+        for config_name, sample in results[rung["name"]].items():
+            configs[config_name] = dict(
+                sample, events_per_s=sample["events"] / sample["wall_s"]
+            )
+        baseline = configs["heap+perlink"]["events_per_s"]
+        scenarios.append(
+            {
+                "name": rung["name"],
+                "nodes": configs["heap+perlink"]["nodes"],
+                "links": configs["heap+perlink"]["links"],
+                "duration_s": rung["duration_s"],
+                "warmup_s": rung["warmup_s"],
+                "seed": SEED,
+                "configs": configs,
+                "batched_spf_speedup": (
+                    configs["heap+batched"]["events_per_s"] / baseline
+                ),
+                "fast_path_speedup": (
+                    configs["calendar+batched"]["events_per_s"] / baseline
+                ),
+            }
+        )
+    return scenarios
+
+
+def _render(scenarios):
+    lines = [
+        f"{'scenario':<10} {'nodes':>5} {'links':>5} "
+        f"{'heap+perlink':>14} {'heap+batched':>14} "
+        f"{'cal+batched':>14} {'fast path':>10}"
+    ]
+    for s in scenarios:
+        cfg = s["configs"]
+        lines.append(
+            f"{s['name']:<10} {s['nodes']:>5} {s['links']:>5} "
+            f"{cfg['heap+perlink']['events_per_s']:>12,.0f}/s "
+            f"{cfg['heap+batched']['events_per_s']:>12,.0f}/s "
+            f"{cfg['calendar+batched']['events_per_s']:>12,.0f}/s "
+            f"{s['fast_path_speedup']:>9.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_scale_events_per_sec():
+    repeats = int(os.environ.get("SCALE_BENCH_REPEATS", "2"))
+    scenarios = measure_scaling(repeats)
+    record = {
+        "schema": 1,
+        "wall_is": f"best of {repeats} interleaved runs",
+        "calibration_s": calibrate(),
+        "repeats": repeats,
+        "scenarios": scenarios,
+    }
+    by_name = {s["name"]: s for s in scenarios}
+    if "rand512" in by_name:
+        record["rand512_fast_path_speedup"] = by_name["rand512"][
+            "fast_path_speedup"
+        ]
+    with open(BENCH_SCALE_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print()
+    print("=" * 72)
+    print("Large-network scaling: kernel events/sec by configuration")
+    print("=" * 72)
+    print(_render(scenarios))
+
+    for s in scenarios:
+        cfg = s["configs"]
+        # Scheduler choice can never change simulation results: with the
+        # same SPF mode, heap and calendar runs are bit-identical.
+        for field in ("events", "delivered_packets", "offered_packets"):
+            assert (
+                cfg["heap+batched"][field] == cfg["calendar+batched"][field]
+            ), f"{s['name']}: scheduler changed {field}"
+        # Batched SPF may break equal-cost ties differently than per-link
+        # application, but the trajectory must stay essentially the same.
+        delivered = cfg["heap+perlink"]["delivered_packets"]
+        drift = abs(cfg["heap+batched"]["delivered_packets"] - delivered)
+        assert drift <= max(5, delivered * 0.01), (
+            f"{s['name']}: batched SPF changed deliveries by {drift}"
+        )
+
+    if "rand512" in by_name:
+        speedup = by_name["rand512"]["fast_path_speedup"]
+        assert speedup >= RAND512_MIN_SPEEDUP, (
+            f"fast path too slow at 512 nodes: {speedup:.2f}x "
+            f"(need {RAND512_MIN_SPEEDUP}x, bench in {BENCH_SCALE_PATH})"
+        )

@@ -30,6 +30,7 @@ from repro.analysis.response_map import NetworkResponseMap, build_response_map
 from repro.analysis.equilibrium import (
     EquilibriumPoint,
     equilibrium_point,
+    equilibrium_points,
     equilibrium_utilization_curve,
 )
 from repro.analysis.dynamics import CobwebTrace, cobweb_trace
@@ -57,6 +58,7 @@ __all__ = [
     "build_response_map",
     "cobweb_trace",
     "equilibrium_point",
+    "equilibrium_points",
     "equilibrium_utilization_curve",
     "metric_map",
     "normalized_metric_map",

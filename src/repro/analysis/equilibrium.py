@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Sequence
 
+import numpy as np
+
 from repro.analysis.response_map import NetworkResponseMap
 from repro.metrics.base import LinkMetric
 from repro.topology.graph import Link
@@ -102,6 +104,69 @@ def equilibrium_point(
     )
 
 
+def equilibrium_points(
+    metric: LinkMetric,
+    link: Link,
+    response: NetworkResponseMap,
+    offered_loads: Sequence[float],
+    tolerance: float = 1e-6,
+) -> List[EquilibriumPoint]:
+    """Solve every offered load at once by vectorized bisection.
+
+    The bisection of :func:`equilibrium_point` runs element-wise over
+    the whole load vector (each element's bracket freezes once it
+    converges, mirroring the scalar loop's early exit), so sweeping
+    thousands of loads costs a few hundred numpy passes rather than a
+    Python bisection per load.
+    """
+    loads = np.asarray(list(offered_loads), dtype=float)
+    if loads.size == 0:
+        return []
+    if np.any(loads < 0):
+        raise ValueError(f"offered loads must be >= 0, got {loads.min()}")
+    idle = metric.idle_cost(link)
+
+    def step(rho: np.ndarray) -> np.ndarray:
+        utilization = np.minimum(
+            loads * response.traffic_fraction_array(rho), 1.0
+        )
+        return metric.cost_at_utilization_array(link, utilization) / idle
+
+    lo = np.full_like(loads, min(1.0, response.reported_costs[0]))
+    step_lo = step(lo)
+    hi = np.maximum(
+        step_lo,
+        max(
+            response.reported_costs[-1],
+            _cost_in_hops(metric, link, 1.0),
+        ),
+    ) + 1.0
+    # Elements where even the lowest cost sheds everything down to the
+    # metric floor take the fixed point directly, as in the scalar case.
+    shed = step_lo - lo <= 0
+    active = ~shed
+    for _ in range(200):
+        if not active.any():
+            break
+        mid = 0.5 * (lo + hi)
+        g_positive = step(mid) - mid > 0
+        lo = np.where(active & g_positive, mid, lo)
+        hi = np.where(active & ~g_positive, mid, hi)
+        active &= (hi - lo) >= tolerance
+    rho = np.where(shed, step_lo, 0.5 * (lo + hi))
+    utilization = np.minimum(
+        loads * response.traffic_fraction_array(rho), 1.0
+    )
+    return [
+        EquilibriumPoint(
+            offered_load=float(load),
+            reported_cost_hops=float(r),
+            utilization=float(u),
+        )
+        for load, r, u in zip(loads, rho, utilization)
+    ]
+
+
 def equilibrium_utilization_curve(
     metric: LinkMetric,
     link: Link,
@@ -109,10 +174,7 @@ def equilibrium_utilization_curve(
     offered_loads: Sequence[float],
 ) -> List[EquilibriumPoint]:
     """Figure 10: equilibrium utilization across offered loads."""
-    return [
-        equilibrium_point(metric, link, response, load)
-        for load in offered_loads
-    ]
+    return equilibrium_points(metric, link, response, offered_loads)
 
 
 def ideal_utilization(offered_load: float) -> float:

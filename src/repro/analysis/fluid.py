@@ -30,8 +30,13 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.metrics.base import LinkMetric
-from repro.metrics.queueing import utilization_to_delay_s
+from repro.metrics.queueing import (
+    utilization_to_delay_s,
+    utilization_to_delay_s_array,
+)
 from repro.routing.spf import CostTable, SpfTree
 from repro.topology.graph import Network
 from repro.traffic.matrix import TrafficMatrix
@@ -98,11 +103,25 @@ class FluidNetworkModel:
         self.costs = CostTable(
             [float(metric.initial_cost(link)) for link in network.links]
         )
-        self._metric_state = {
-            link.link_id: metric.create_state(link)
-            for link in network.links
-        }
         self._trees: Optional[Dict[int, SpfTree]] = None
+        # Vectorized fast path: metrics with a struct-of-arrays pipeline
+        # sweep every link in a handful of numpy passes per round.  The
+        # two paths are bit-identical per link (the vector pipeline is
+        # the same float operations in the same order), so which one
+        # runs is invisible in the results.
+        self._links = list(network.links)
+        self._capacity = np.array([l.bandwidth_bps for l in self._links])
+        self._propagation = np.array(
+            [l.propagation_s for l in self._links]
+        )
+        self._vector_state = metric.create_vector_state(self._links)
+        self._metric_state = (
+            {
+                link.link_id: metric.create_state(link)
+                for link in network.links
+            }
+            if self._vector_state is None else {}
+        )
 
     # ------------------------------------------------------------------
     # One routing period
@@ -126,30 +145,39 @@ class FluidNetworkModel:
     def step(self, round_index: int = 0) -> FluidRound:
         """Run one routing period; returns the round's aggregates."""
         load = self.route_demands()
-        utilizations: List[float] = []
-        overload = 0.0
-        changed = 0
-        for link in self.network.links:
-            capacity = link.bandwidth_bps
-            utilization = min(load[link.link_id] / capacity, 1.0)
-            overload += max(load[link.link_id] - capacity, 0.0)
-            utilizations.append(utilization)
-            delay_s = utilization_to_delay_s(
-                utilization, capacity, propagation_s=link.propagation_s
+        load_arr = np.array([load[l.link_id] for l in self._links])
+        utilization = np.minimum(load_arr / self._capacity, 1.0)
+        overload = float(np.maximum(load_arr - self._capacity, 0.0).sum())
+        if self._vector_state is not None:
+            delays = utilization_to_delay_s_array(
+                utilization, self._capacity,
+                propagations_s=self._propagation,
             )
-            new_cost = float(self.metric.measured_cost(
-                link, self._metric_state[link.link_id], delay_s
-            ))
-            if new_cost != self.costs[link.link_id]:
-                changed += 1
-            self.costs[link.link_id] = new_cost
+            new_costs = self.metric.measured_costs(
+                self._vector_state, delays
+            )
+        else:
+            new_costs = np.array([
+                float(self.metric.measured_cost(
+                    link, self._metric_state[link.link_id],
+                    utilization_to_delay_s(
+                        float(utilization[i]), link.bandwidth_bps,
+                        propagation_s=link.propagation_s,
+                    ),
+                ))
+                for i, link in enumerate(self._links)
+            ])
+        old_costs = np.asarray(self.costs.costs, dtype=float)
+        changed_idx = np.nonzero(new_costs != old_costs)[0]
+        for i in changed_idx:
+            self.costs[self._links[i].link_id] = float(new_costs[i])
         return FluidRound(
             round_index=round_index,
-            mean_utilization=statistics.mean(utilizations),
-            max_utilization=max(utilizations),
-            churn=changed / len(self.network.links),
+            mean_utilization=float(utilization.mean()),
+            max_utilization=float(utilization.max()),
+            churn=len(changed_idx) / len(self._links),
             overload_bps=overload,
-            mean_cost=statistics.mean(self.costs.costs),
+            mean_cost=float(np.mean(self.costs.costs)),
         )
 
     def run(self, rounds: int = 30) -> FluidTrace:

@@ -18,6 +18,8 @@ import statistics
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.analysis.shedding import RouteOverLink, routes_over_link
 from repro.topology.graph import Network
 from repro.traffic.matrix import TrafficMatrix
@@ -73,6 +75,18 @@ class NetworkResponseMap:
                 frac = (reported - x0) / (x1 - x0)
                 return y0 + frac * (y1 - y0)
         raise AssertionError("unreachable")
+
+    def traffic_fraction_array(self, reported: np.ndarray) -> np.ndarray:
+        """Vector form of :meth:`traffic_fraction`.
+
+        ``np.interp`` clamps at the grid ends, matching the scalar
+        method's saturation above and floor below the sweep.
+        """
+        return np.interp(
+            np.asarray(reported, dtype=float),
+            self.reported_costs,
+            self.normalized_traffic,
+        )
 
     def mean_base_utilization(self, network: Network) -> float:
         """Mean base-traffic/capacity over links (min-hop utilization)."""

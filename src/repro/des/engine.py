@@ -22,6 +22,7 @@ Two scheduling planes share the queue:
 from __future__ import annotations
 
 import heapq
+from functools import partial
 from itertools import count
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
@@ -42,6 +43,168 @@ class _StopRun(Exception):
 #: scheduled there (runs are inclusive of events at exactly ``until``).
 _SENTINEL_SEQ = 2 ** 62
 
+#: Pending-entry count above which an "auto" simulator migrates from the
+#: binary heap to the calendar queue.  Small runs (every paper-sized
+#: scenario) stay on the heap, whose C implementation is unbeatable at
+#: that size; the calendar queue's O(1) enqueue/dequeue only pays for
+#: itself once the heap is tens of thousands of entries deep.
+CALENDAR_THRESHOLD = 24_000
+
+
+class CalendarQueue:
+    """A bucketed (calendar) event queue, totally ordered by ``(time, seq)``.
+
+    The classic O(1) priority queue for discrete-event simulation [Brown
+    1988]: entries hash into time buckets of fixed ``width``; dequeueing
+    scans forward from the current bucket, taking the earliest entry due
+    within the bucket's current "year".  Bucket count and width adapt to
+    the queue's population, keeping the expected occupancy of the scanned
+    bucket near one entry.
+
+    Entries are the simulator's plain ``(time, seq, ...)`` tuples, and
+    ties are broken by the same unique ``seq`` the heap uses, so draining
+    a calendar queue yields **exactly** the heap's order: scheduler choice
+    can never change simulation behaviour, only its speed.
+
+    Each bucket is itself a tiny binary heap, so the per-bucket earliest
+    entry is ``bucket[0]`` and insert/remove run in C; the Python-level
+    work per operation is just the forward scan over (mostly empty)
+    buckets.
+    """
+
+    __slots__ = (
+        "_buckets", "_nbuckets", "_width", "_size",
+        "_cursor_base", "_expand_at", "_shrink_at",
+    )
+
+    #: Never shrink below this many buckets.
+    MIN_BUCKETS = 16
+
+    def __init__(self, entries: Optional[List[tuple]] = None,
+                 width: float = 0.01) -> None:
+        self._size = 0
+        self._spread(self.MIN_BUCKETS, max(width, 1e-12), 0.0)
+        if entries:
+            for entry in entries:
+                self.push(entry)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return (
+            f"<CalendarQueue size={self._size} buckets={self._nbuckets} "
+            f"width={self._width:g}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Internal layout
+    # ------------------------------------------------------------------
+    # All positioning works in absolute *bucket numbers*: entry time t
+    # lives in bucket number int(t / width), stored at index (number %
+    # nbuckets).  The due-this-year test compares bucket numbers -- never
+    # a float recomputation of a bucket boundary -- so hashing and
+    # ordering can't disagree by a rounding ulp at bucket edges.
+
+    def _spread(self, nbuckets: int, width: float, start: float) -> None:
+        """Lay out ``nbuckets`` empty buckets of ``width`` from ``start``."""
+        self._nbuckets = nbuckets
+        self._width = width
+        self._buckets: List[List[tuple]] = [[] for _ in range(nbuckets)]
+        #: Absolute bucket number the dequeue scan resumes from; an
+        #: invariant keeps it <= every queued entry's bucket number.
+        self._cursor_base = int(start / width)
+        self._expand_at = nbuckets * 2
+        self._shrink_at = nbuckets // 2 if nbuckets > self.MIN_BUCKETS else 0
+
+    def _resize(self, nbuckets: int) -> None:
+        entries = [e for bucket in self._buckets for e in bucket]
+        width = self._pick_width(entries)
+        start = min(e[0] for e in entries) if entries else 0.0
+        self._spread(nbuckets, width, start)
+        width = self._width
+        n = self._nbuckets
+        buckets = self._buckets
+        for entry in entries:
+            buckets[int(entry[0] / width) % n].append(entry)
+        for bucket in buckets:
+            if len(bucket) > 1:
+                heapq.heapify(bucket)
+
+    def _pick_width(self, entries: List[tuple]) -> float:
+        """A bucket width giving ~one due entry per scanned bucket.
+
+        Uses the median gap between consecutive distinct event times of a
+        bounded sample -- robust against the far-future outliers (periodic
+        timers) that skew a plain mean.  Deterministic: the sample is the
+        first entries in bucket order.
+        """
+        sample = sorted(e[0] for e in entries[:1024])
+        gaps = [b - a for a, b in zip(sample, sample[1:]) if b > a]
+        if not gaps:
+            return self._width
+        gaps.sort()
+        median = gaps[len(gaps) // 2]
+        return max(median * 2.0, 1e-12)
+
+    # ------------------------------------------------------------------
+    # Queue operations
+    # ------------------------------------------------------------------
+    def push(self, entry: tuple) -> None:
+        """Insert ``entry``; O(1) amortized."""
+        base = int(entry[0] / self._width)
+        heapq.heappush(self._buckets[base % self._nbuckets], entry)
+        self._size += 1
+        if base < self._cursor_base:
+            # Earlier than the current scan position: rewind so the
+            # forward scan can never walk past it.
+            self._cursor_base = base
+        if self._size > self._expand_at:
+            self._resize(self._nbuckets * 2)
+
+    def pop(self) -> tuple:
+        """Remove and return the least ``(time, seq)`` entry."""
+        if not self._size:
+            raise IndexError("pop from an empty CalendarQueue")
+        base = self._find()
+        entry = heapq.heappop(self._buckets[base % self._nbuckets])
+        self._size -= 1
+        self._cursor_base = base
+        if self._size < self._shrink_at:
+            self._resize(max(self._nbuckets // 2, self.MIN_BUCKETS))
+        return entry
+
+    def peek_time(self) -> float:
+        """Time of the least entry without removing it."""
+        if not self._size:
+            return float("inf")
+        base = self._find()
+        return self._buckets[base % self._nbuckets][0][0]
+
+    def _find(self) -> int:
+        """Bucket number holding the least entry (as its heap head)."""
+        buckets = self._buckets
+        n = self._nbuckets
+        width = self._width
+        base = self._cursor_base
+        index = base % n
+        for _ in range(n):
+            bucket = buckets[index]
+            if bucket and int(bucket[0][0] / width) <= base:
+                return base
+            base += 1
+            index += 1
+            if index == n:
+                index = 0
+        # Rare: every entry lives beyond one full calendar year (a sparse
+        # far-future population).  Take the global minimum of the bucket
+        # heads directly and fast-forward the cursor to its bucket.
+        best = None
+        for bucket in buckets:
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+        return int(best[0] / width)
+
 
 class Simulator:
     """A discrete-event simulation kernel.
@@ -50,25 +213,73 @@ class Simulator:
     ----------
     start_time:
         Initial value of the virtual clock (default ``0.0``).
+    scheduler:
+        Event-queue backend: ``"heap"`` (binary heap, best for small
+        runs), ``"calendar"`` (bucketed calendar queue, best for large
+        networks), or ``"auto"`` (start on the heap, migrate to the
+        calendar queue when the pending count first exceeds
+        ``calendar_threshold``).  ``None`` uses
+        :attr:`Simulator.DEFAULT_SCHEDULER`.  Both backends pop in the
+        identical total ``(time, seq)`` order, so the choice can never
+        change simulation results.
+    calendar_threshold:
+        Pending-entry count that triggers the auto migration.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    #: Process-wide default backend; tests override it to force every
+    #: simulation (including ones built deep inside scenario helpers)
+    #: onto one scheduler.
+    DEFAULT_SCHEDULER = "auto"
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        scheduler: Optional[str] = None,
+        calendar_threshold: int = CALENDAR_THRESHOLD,
+    ) -> None:
+        if scheduler is None:
+            scheduler = self.DEFAULT_SCHEDULER
+        if scheduler not in ("auto", "heap", "calendar"):
+            raise ValueError(
+                f"scheduler must be 'auto', 'heap' or 'calendar': "
+                f"{scheduler!r}"
+            )
         #: Current simulation time.  A plain attribute, not a property:
         #: the hot paths read it hundreds of thousands of times per run.
         #: Treat as read-only outside the kernel.
         self.now = float(start_time)
-        # Heap entries are uniform (time, sequence, fn, args) tuples --
+        # Queue entries are uniform (time, sequence, fn, args) tuples --
         # scheduled calls directly, Events via _fire_event.  The sequence
         # breaks ties deterministically in scheduling order and is unique,
-        # so heap comparisons never reach the payload.
+        # so entry comparisons never reach the payload.
         self._queue: List[Tuple[float, int, Any]] = []
         self._sequence = count()
         # Bound iterator step: the tie-breaking sequence is drawn on
-        # every heap push, so skip the global next() dispatch.
+        # every push, so skip the global next() dispatch.
         self._next_seq = self._sequence.__next__
         self._active_process: Optional[Process] = None
         self._events_processed = 0
         self._timers = None
+        self.scheduler = scheduler
+        self.calendar_threshold = calendar_threshold
+        #: The calendar backend, or None while on the heap.
+        self._calendar: Optional[CalendarQueue] = None
+        # self._push(entry) is the single enqueue point for every plane;
+        # a C-level partial keeps heap mode as fast as inline heappush.
+        self._push = partial(heapq.heappush, self._queue)
+        if scheduler == "calendar":
+            self._switch_to_calendar()
+
+    def _switch_to_calendar(self) -> None:
+        """Migrate all pending entries onto the calendar queue."""
+        self._calendar = CalendarQueue(self._queue)
+        self._queue = []
+        self._push = self._calendar.push
+
+    @property
+    def active_scheduler(self) -> str:
+        """The backend currently in use: ``"heap"`` or ``"calendar"``."""
+        return "heap" if self._calendar is None else "calendar"
 
     # ------------------------------------------------------------------
     # Clock and introspection
@@ -94,12 +305,24 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._calendar is not None:
+            return self._calendar.peek_time()
         if not self._queue:
             return float("inf")
         return self._queue[0][0]
 
+    @property
+    def pending(self) -> int:
+        """Number of queued entries (events + scheduled calls)."""
+        if self._calendar is not None:
+            return len(self._calendar)
+        return len(self._queue)
+
     def __repr__(self) -> str:
-        return f"<Simulator t={self.now} pending={len(self._queue)}>"
+        return (
+            f"<Simulator t={self.now} pending={self.pending} "
+            f"scheduler={self.active_scheduler}>"
+        )
 
     # ------------------------------------------------------------------
     # Event construction helpers
@@ -123,15 +346,11 @@ class Simulator:
         """Invoke ``fn(*args)`` after ``delay`` time units."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        heapq.heappush(
-            self._queue, (self.now + delay, self._next_seq(), fn, args)
-        )
+        self._push((self.now + delay, self._next_seq(), fn, args))
 
     def call_soon(self, fn: Callable[..., None], *args: Any) -> None:
         """Invoke ``fn(*args)`` at the current time, after pending events."""
-        heapq.heappush(
-            self._queue, (self.now, self._next_seq(), fn, args)
-        )
+        self._push((self.now, self._next_seq(), fn, args))
 
     def _schedule_call_at(
         self, when: float, fn: Callable[..., None], args: Tuple
@@ -141,7 +360,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {when}; clock already at {self.now}"
             )
-        heapq.heappush(self._queue, (when, self._next_seq(), fn, args))
+        self._push((when, self._next_seq(), fn, args))
 
     # ------------------------------------------------------------------
     # Scheduling (kernel-internal, used by Event/Timeout)
@@ -151,16 +370,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {when}; clock already at {self.now}"
             )
-        heapq.heappush(
-            self._queue, (when, self._next_seq(), self._fire_event, (event,))
-        )
+        self._push((when, self._next_seq(), self._fire_event, (event,)))
 
     def _enqueue_event(self, event: Event) -> None:
         """Schedule a just-triggered event's callbacks to run now."""
-        heapq.heappush(
-            self._queue,
-            (self.now, self._next_seq(), self._fire_event, (event,)),
-        )
+        self._push((self.now, self._next_seq(), self._fire_event, (event,)))
 
     @staticmethod
     def _fire_event(event: Event) -> None:
@@ -184,9 +398,14 @@ class Simulator:
         SimulationError
             If the queue is empty.
         """
-        if not self._queue:
-            raise SimulationError("no events scheduled")
-        entry = heapq.heappop(self._queue)
+        if self._calendar is not None:
+            if not self._calendar:
+                raise SimulationError("no events scheduled")
+            entry = self._calendar.pop()
+        else:
+            if not self._queue:
+                raise SimulationError("no events scheduled")
+            entry = heapq.heappop(self._queue)
         self.now = entry[0]
         self._events_processed += 1
         entry[2](*entry[3])
@@ -202,17 +421,36 @@ class Simulator:
             raise SimulationError(
                 f"cannot run until {until}; clock already at {self.now}"
             )
-        # Inlined event loop: identical semantics to step(), without the
-        # per-event method call and attribute traffic.  This loop is the
-        # single hottest few lines of the whole simulator.
+        if self._calendar is None:
+            self._run_heap(until)
+        if self._calendar is not None:
+            self._run_calendar(until)
+        if until is not None:
+            self.now = float(until)
+
+    def _run_heap(self, until: Optional[float]) -> None:
+        """The binary-heap event loop (also handles the auto migration).
+
+        Inlined: identical semantics to step(), without the per-event
+        method call and attribute traffic.  This loop is the single
+        hottest few lines of the whole simulator.  Every 1024 events it
+        checks whether an "auto" simulator has outgrown the heap; on
+        migration it returns with entries still pending, and run()
+        continues on the calendar loop.
+        """
         queue = self._queue
         pop = heapq.heappop
         bounded = until is not None
+        auto = self.scheduler == "auto"
+        threshold = self.calendar_threshold
         processed = 0
         try:
             while queue:
                 if bounded and queue[0][0] > until:
                     break
+                if auto and processed & 1023 == 0 and len(queue) > threshold:
+                    self._switch_to_calendar()
+                    return
                 entry = pop(queue)
                 self.now = entry[0]
                 processed += 1
@@ -228,8 +466,99 @@ class Simulator:
                     callback(item)
         finally:
             self._events_processed += processed
-        if until is not None:
-            self.now = float(until)
+
+    def _run_calendar(self, until: Optional[float]) -> None:
+        """The calendar-queue event loop: same semantics, bucketed pops.
+
+        Both halves of the per-event queue traffic are inlined, because
+        at millions of events per run the Python calls they save are the
+        difference between the calendar keeping pace with the C heap and
+        losing to it:
+
+        * **pop** -- the common case of CalendarQueue.pop() (scan to the
+          first due bucket, pop its heap head in C) runs inline; the
+          rare far-future layout falls back to the method.
+        * **push** -- while the loop runs, ``self._push`` is a plain
+          ``list.append`` onto a staging list, drained into the buckets
+          at the top of each iteration.  A pushed entry can only ever be
+          popped on a *later* iteration than the one that pushed it, so
+          deferring the bucket insert to the next iteration's drain is
+          observationally identical to pushing immediately.
+        """
+        calendar = self._calendar
+        pop = calendar.pop
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        bounded = until is not None
+        processed = 0
+        staging: List[tuple] = []
+        self._push = staging.append
+        try:
+            while calendar._size or staging:
+                if staging:
+                    # Inline drain: identical to CalendarQueue.push(),
+                    # minus one Python call per entry.
+                    buckets = calendar._buckets
+                    n = calendar._nbuckets
+                    width = calendar._width
+                    cursor = calendar._cursor_base
+                    for entry in staging:
+                        b = int(entry[0] / width)
+                        heappush(buckets[b % n], entry)
+                        if b < cursor:
+                            cursor = b
+                    calendar._cursor_base = cursor
+                    calendar._size += len(staging)
+                    staging.clear()
+                    if calendar._size > calendar._expand_at:
+                        calendar._resize(calendar._nbuckets * 2)
+                # Inline fast path: identical to CalendarQueue.pop().
+                buckets = calendar._buckets
+                n = calendar._nbuckets
+                width = calendar._width
+                base = calendar._cursor_base
+                index = base % n
+                for _ in range(n):
+                    bucket = buckets[index]
+                    if bucket and int(bucket[0][0] / width) <= base:
+                        entry = heappop(bucket)
+                        calendar._size -= 1
+                        calendar._cursor_base = base
+                        if calendar._size < calendar._shrink_at:
+                            calendar._resize(
+                                max(n // 2, calendar.MIN_BUCKETS)
+                            )
+                        break
+                    base += 1
+                    index += 1
+                    if index == n:
+                        index = 0
+                else:
+                    entry = pop()
+                if bounded and entry[0] > until:
+                    # Past the horizon: put it back (seq is preserved, so
+                    # ordering is too) and stop.
+                    calendar.push(entry)
+                    break
+                self.now = entry[0]
+                processed += 1
+                if len(entry) == 4:
+                    entry[2](*entry[3])
+                    continue
+                item = entry[2]
+                if item._value is _PENDING:
+                    item._ok = True
+                    item._value = getattr(item, "_deferred_value", None)
+                callbacks, item.callbacks = item.callbacks, []
+                for callback in callbacks:
+                    callback(item)
+        finally:
+            self._events_processed += processed
+            self._push = calendar.push
+            for entry in staging:
+                # Only reachable when a callback raised mid-iteration:
+                # hand any stranded entries back before unwinding.
+                calendar.push(entry)
 
     def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
         """Run until ``event`` triggers; return its value.
@@ -243,9 +572,9 @@ class Simulator:
             event has not fired by then.
         """
         while not event.triggered:
-            if not self._queue:
+            if not self.pending:
                 raise SimulationError(f"queue drained before {event!r} fired")
-            if limit is not None and self._queue[0][0] > limit:
+            if limit is not None and self.peek() > limit:
                 raise SimulationError(f"{event!r} did not fire by t={limit}")
             self.step()
         if not event.ok:

@@ -20,7 +20,9 @@ costs divided by the ambient idle cost of a reference line.
 from __future__ import annotations
 
 import abc
-from typing import Any
+from typing import Any, Optional, Sequence
+
+import numpy as np
 
 from repro.topology.graph import Link
 
@@ -76,6 +78,47 @@ class LinkMetric(abc.ABC):
     @abc.abstractmethod
     def idle_cost(self, link: Link) -> float:
         """Cost of an idle link -- the normalizer used by Figure 4."""
+
+    def cost_at_utilization_array(
+        self, link: Link, utilizations: np.ndarray
+    ) -> np.ndarray:
+        """Vector form of :meth:`cost_at_utilization`.
+
+        The analysis package sweeps thousands of utilizations per call
+        through this.  The base implementation loops; the built-in
+        metrics override it with closed-form numpy expressions that are
+        element-for-element identical to the scalar method.
+        """
+        u = np.asarray(utilizations, dtype=float)
+        flat = [self.cost_at_utilization(link, float(x)) for x in u.ravel()]
+        return np.array(flat, dtype=float).reshape(u.shape)
+
+    # ------------------------------------------------------------------
+    # Vectorized operational view (used by the fluid model)
+    # ------------------------------------------------------------------
+    def create_vector_state(self, links: Sequence[Link]) -> Optional[Any]:
+        """Per-link state for the vectorized measurement pipeline.
+
+        Returns an opaque struct-of-arrays state covering ``links``, or
+        ``None`` when the metric has no vectorized pipeline (callers
+        then fall back to per-link :meth:`create_state` /
+        :meth:`measured_cost`).  A metric that implements this MUST make
+        :meth:`measured_costs` reproduce :meth:`measured_cost`
+        bit-identically per element.
+        """
+        return None
+
+    def measured_costs(
+        self, vector_state: Any, delays_s: np.ndarray
+    ) -> np.ndarray:
+        """Consume one interval's delays for every link at once.
+
+        Mutates ``vector_state`` (the filter histories) and returns the
+        reported costs as a float array of integral values.
+        """
+        raise NotImplementedError(
+            f"{self.__class__.__name__} has no vectorized pipeline"
+        )
 
     # ------------------------------------------------------------------
     def hops(self, link: Link, cost_units: float, ambient_units: float) -> float:

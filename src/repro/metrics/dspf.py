@@ -14,11 +14,16 @@ and shed every route it carries at once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 from repro.metrics.base import LinkMetric
 from repro.metrics.params import DEFAULT_DSPF_PARAMS, DspfParams
-from repro.metrics.queueing import utilization_to_delay_s
+from repro.metrics.queueing import (
+    utilization_to_delay_s,
+    utilization_to_delay_s_array,
+)
 from repro.topology.graph import Link
 from repro.units import seconds_to_ms
 
@@ -28,6 +33,17 @@ class DspfLinkState:
     """Per-link D-SPF history: only the last reported cost."""
 
     last_reported: int
+
+
+@dataclass
+class DspfVectorState:
+    """Struct-of-arrays D-SPF state: one slot per link."""
+
+    ms_per_unit: np.ndarray
+    bias: np.ndarray
+    max_cost: np.ndarray
+    initial: np.ndarray
+    last_reported: np.ndarray
 
 
 class DelayMetric(LinkMetric):
@@ -87,6 +103,32 @@ class DelayMetric(LinkMetric):
         return 8
 
     # ------------------------------------------------------------------
+    # Vectorized operational view
+    # ------------------------------------------------------------------
+    def create_vector_state(self, links: Sequence[Link]) -> DspfVectorState:
+        params = [self.params_for(link) for link in links]
+        initial = np.array([float(self.initial_cost(l)) for l in links])
+        return DspfVectorState(
+            ms_per_unit=np.array([p.ms_per_unit for p in params]),
+            bias=np.array([float(p.bias) for p in params]),
+            max_cost=np.array([float(p.max_cost) for p in params]),
+            initial=initial,
+            last_reported=initial.copy(),
+        )
+
+    def measured_costs(
+        self, vector_state: DspfVectorState, delays_s: np.ndarray
+    ) -> np.ndarray:
+        state = vector_state
+        units = np.rint(
+            np.asarray(delays_s, dtype=float) * 1000.0 / state.ms_per_unit
+        )
+        cost = np.minimum(np.maximum(units, state.bias), state.max_cost)
+        cost = np.maximum(cost, state.initial)
+        state.last_reported = cost
+        return cost
+
+    # ------------------------------------------------------------------
     # Equilibrium view
     # ------------------------------------------------------------------
     def cost_at_utilization(self, link: Link, utilization: float) -> float:
@@ -97,6 +139,18 @@ class DelayMetric(LinkMetric):
         units = seconds_to_ms(delay_s) / params.ms_per_unit
         floor = float(self.initial_cost(link))
         return min(max(units, floor), float(params.max_cost))
+
+    def cost_at_utilization_array(
+        self, link: Link, utilizations: np.ndarray
+    ) -> np.ndarray:
+        params = self.params_for(link)
+        delays_s = utilization_to_delay_s_array(
+            utilizations, link.bandwidth_bps,
+            propagations_s=link.propagation_s,
+        )
+        units = delays_s * 1000.0 / params.ms_per_unit
+        floor = float(self.initial_cost(link))
+        return np.minimum(np.maximum(units, floor), float(params.max_cost))
 
     def idle_cost(self, link: Link) -> float:
         return float(self.initial_cost(link))

@@ -35,11 +35,16 @@ Key behaviours reproduced here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 from repro.metrics.base import LinkMetric
 from repro.metrics.params import DEFAULT_HNSPF_PARAMS, HnspfParams
-from repro.metrics.queueing import delay_to_utilization
+from repro.metrics.queueing import (
+    delay_to_utilization,
+    delay_to_utilization_array,
+)
 from repro.topology.graph import Link
 from repro.units import AVERAGE_PACKET_BITS
 
@@ -50,6 +55,22 @@ class HnspfLinkState:
 
     last_average: float
     last_reported: int
+
+
+@dataclass
+class HnspfVectorState:
+    """Struct-of-arrays HNM state: one slot per link, numpy throughout."""
+
+    bandwidth_bps: np.ndarray
+    propagation_s: np.ndarray
+    slope: np.ndarray
+    offset: np.ndarray
+    floor: np.ndarray
+    max_cost: np.ndarray
+    max_up: np.ndarray
+    max_down: np.ndarray
+    last_average: np.ndarray
+    last_reported: np.ndarray
 
 
 class HopNormalizedMetric(LinkMetric):
@@ -172,12 +193,71 @@ class HopNormalizedMetric(LinkMetric):
         return self.params_for(link).min_change
 
     # ------------------------------------------------------------------
+    # Vectorized operational view (Figure 3 over link arrays)
+    # ------------------------------------------------------------------
+    def create_vector_state(self, links: Sequence[Link]) -> HnspfVectorState:
+        params = [self.params_for(link) for link in links]
+        return HnspfVectorState(
+            bandwidth_bps=np.array([l.bandwidth_bps for l in links]),
+            propagation_s=np.array([l.propagation_s for l in links]),
+            slope=np.array([p.slope for p in params]),
+            offset=np.array([p.offset for p in params]),
+            floor=np.array([float(self.min_cost_for(l)) for l in links]),
+            max_cost=np.array([float(p.max_cost) for p in params]),
+            max_up=np.array([float(p.max_up) for p in params]),
+            max_down=np.array([float(p.max_down) for p in params]),
+            last_average=np.zeros(len(links)),
+            last_reported=np.array(
+                [float(self.initial_cost(l)) for l in links]
+            ),
+        )
+
+    def measured_costs(
+        self, vector_state: HnspfVectorState, delays_s: np.ndarray
+    ) -> np.ndarray:
+        state = vector_state
+        sample = delay_to_utilization_array(
+            delays_s,
+            state.bandwidth_bps,
+            propagations_s=state.propagation_s,
+            packet_bits=self.packet_bits,
+        )
+        average = (
+            self.smoothing * sample
+            + (1.0 - self.smoothing) * state.last_average
+        )
+        state.last_average = average
+        raw = state.slope * average + state.offset
+        if self.limit_movement:
+            ceiling = state.last_reported + state.max_up
+            floor = state.last_reported - state.max_down
+            limited = np.minimum(np.maximum(raw, floor), ceiling)
+        else:
+            limited = raw
+        revised = np.rint(
+            np.minimum(np.maximum(limited, state.floor), state.max_cost)
+        )
+        state.last_reported = revised
+        return revised
+
+    # ------------------------------------------------------------------
     # Equilibrium view
     # ------------------------------------------------------------------
     def cost_at_utilization(self, link: Link, utilization: float) -> float:
         params = self.params_for(link)
         return min(
             max(params.raw_cost(utilization), float(self.min_cost_for(link))),
+            float(params.max_cost),
+        )
+
+    def cost_at_utilization_array(
+        self, link: Link, utilizations: np.ndarray
+    ) -> np.ndarray:
+        params = self.params_for(link)
+        raw = params.slope * np.asarray(utilizations, dtype=float) \
+            + params.offset
+        return np.minimum(
+            np.maximum(raw, float(self.min_cost_for(link))),
             float(params.max_cost),
         )
 

@@ -11,6 +11,9 @@ load reaches capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.metrics.base import LinkMetric
 from repro.metrics.params import HOP_UNITS
@@ -58,6 +61,20 @@ class MinHopMetric(LinkMetric):
 
     def cost_at_utilization(self, link: Link, utilization: float) -> float:
         return float(self.hop_cost)
+
+    def cost_at_utilization_array(
+        self, link: Link, utilizations: np.ndarray
+    ) -> np.ndarray:
+        u = np.asarray(utilizations, dtype=float)
+        return np.full(u.shape, float(self.hop_cost))
+
+    def create_vector_state(self, links: Sequence[Link]) -> np.ndarray:
+        return np.full(len(links), float(self.hop_cost))
+
+    def measured_costs(
+        self, vector_state: np.ndarray, delays_s: np.ndarray
+    ) -> np.ndarray:
+        return vector_state.copy()
 
     def idle_cost(self, link: Link) -> float:
         return float(self.hop_cost)

@@ -12,6 +12,8 @@ time; total link delay adds the propagation term.  Delays are in seconds.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.units import AVERAGE_PACKET_BITS
 
 #: Utilizations are clamped just below 1 so the delay stays finite.
@@ -67,3 +69,40 @@ def delay_to_utilization(
         return 0.0
     utilization = 1.0 - service / in_system
     return min(max(utilization, 0.0), MAX_MODEL_UTILIZATION)
+
+
+# ----------------------------------------------------------------------
+# Vectorized transforms: one numpy expression over whole link vectors.
+# Element-for-element these perform the exact operations of the scalar
+# functions above (same order, same clamps), so mixing the two paths
+# can never change a result.
+# ----------------------------------------------------------------------
+def utilization_to_delay_s_array(
+    utilizations: np.ndarray,
+    bandwidths_bps: np.ndarray,
+    propagations_s: np.ndarray | float = 0.0,
+    packet_bits: float = AVERAGE_PACKET_BITS,
+) -> np.ndarray:
+    """Vector form of :func:`utilization_to_delay_s`."""
+    u = np.asarray(utilizations, dtype=float)
+    if np.any(u < 0):
+        raise ValueError(f"utilizations must be >= 0, got {u.min()}")
+    service = packet_bits / np.asarray(bandwidths_bps, dtype=float)
+    clamped = np.minimum(u, MAX_MODEL_UTILIZATION)
+    return service / (1.0 - clamped) + propagations_s
+
+
+def delay_to_utilization_array(
+    delays_s: np.ndarray,
+    bandwidths_bps: np.ndarray,
+    propagations_s: np.ndarray | float = 0.0,
+    packet_bits: float = AVERAGE_PACKET_BITS,
+) -> np.ndarray:
+    """Vector form of :func:`delay_to_utilization`."""
+    delays = np.asarray(delays_s, dtype=float)
+    service = packet_bits / np.asarray(bandwidths_bps, dtype=float)
+    in_system = delays - propagations_s
+    with np.errstate(divide="ignore", invalid="ignore"):
+        utilization = 1.0 - service / in_system
+    utilization = np.where(in_system <= service, 0.0, utilization)
+    return np.minimum(np.maximum(utilization, 0.0), MAX_MODEL_UTILIZATION)

@@ -83,6 +83,17 @@ class Psn:
         tree, instead of walking the tree's parent pointers; the
         equal-cost multipath router also shares its Dijkstra trees
         through it.  Pure speed: decisions are identical either way.
+    batched_spf:
+        Buffer incoming routing updates and repair the SPF tree with one
+        :meth:`~repro.routing.spf.SpfTree.update_costs` pass when the
+        tree is next consulted (a forwarding decision), instead of one
+        incremental repair per update.  Routing-update *bursts* -- a
+        flood reaching this node while it has no data packet in flight --
+        then cost one Dijkstra pass instead of many.  The batched repair
+        may break equal-cost ties differently than sequential per-update
+        repair (both are valid shortest-path trees), so this defaults
+        off and scenarios enable it only at scale.  Ignored under
+        multipath, whose router recomputes per update anyway.
     """
 
     def __init__(
@@ -99,6 +110,7 @@ class Psn:
         multipath_slack: float = 0.0,
         flow_control_window: Optional[int] = None,
         spf_cache: Optional[SpfCache] = None,
+        batched_spf: bool = False,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -138,6 +150,12 @@ class Psn:
         # routing update touches our cost table.
         self.spf_cache = spf_cache
         self._forwarding: Optional[list] = None
+        # Batched SPF repair: updates land in this buffer and are applied
+        # in one update_costs pass when the tree is next consulted.  None
+        # means per-update (eager) repair.
+        self._pending_updates: Optional[list] = (
+            [] if (batched_spf and multipath_mode is None) else None
+        )
         # Optional extension: equal-cost multipath forwarding (the
         # remedy the paper's section 4.5 cites for few-large-flows
         # traffic).  The router shares our cost table and is rebuilt
@@ -250,6 +268,9 @@ class Psn:
 
     def forward(self, packet: Packet) -> None:
         """Single-path, destination-based forwarding."""
+        pending = self._pending_updates
+        if pending:
+            self.flush_pending_updates()
         if len(packet.trail) >= MAX_HOPS:
             self.stats.packet_dropped(packet, "hop-limit", self.sim.now)
             return
@@ -363,8 +384,20 @@ class Psn:
             for update in updates:
                 self._transmit_update(update, link_id)
 
+    def flush_pending_updates(self) -> None:
+        """Apply any buffered routing updates in one batched SPF pass."""
+        pending = self._pending_updates
+        if not pending:
+            return
+        self._pending_updates = []
+        if self.tree.update_costs(pending):
+            self._forwarding = None
+
     def _apply_update(self, update: RoutingUpdate) -> None:
         cost = UNREACHABLE if update.cost >= DOWN_COST else float(update.cost)
+        if self._pending_updates is not None:
+            self._pending_updates.append((update.link_id, cost))
+            return
         if self.tree.update_cost(update.link_id, cost):
             # The compiled next-hop table reflects the old tree; drop it
             # and recompile (or re-fetch from the cache) on the next

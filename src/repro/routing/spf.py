@@ -24,7 +24,7 @@ import heapq
 import math
 from dataclasses import dataclass
 from itertools import count
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.topology.graph import Network
 
@@ -40,6 +40,10 @@ class SpfStats:
     incremental_updates: int = 0
     no_op_updates: int = 0
     nodes_scanned: int = 0
+    #: Batched multi-link repair passes (see :meth:`SpfTree.update_costs`).
+    batched_passes: int = 0
+    #: Individual link changes absorbed by those passes.
+    batched_changes: int = 0
 
     def reset(self) -> "SpfStats":
         snapshot = SpfStats(
@@ -47,12 +51,30 @@ class SpfStats:
             self.incremental_updates,
             self.no_op_updates,
             self.nodes_scanned,
+            self.batched_passes,
+            self.batched_changes,
         )
         self.full_computations = 0
         self.incremental_updates = 0
         self.no_op_updates = 0
         self.nodes_scanned = 0
+        self.batched_passes = 0
+        self.batched_changes = 0
         return snapshot
+
+
+#: Word size of the incremental content fingerprint.
+_FP_MASK = (1 << 64) - 1
+
+
+def _entry_fp(link_id: int, cost: float) -> int:
+    """Deterministic 64-bit digest of one ``(link_id, cost)`` entry.
+
+    Built on :func:`hash`, which is unseeded (and therefore stable across
+    processes) for numbers; equal numbers hash equal, so ``1`` and ``1.0``
+    fingerprint identically -- matching tuple equality of the raw costs.
+    """
+    return hash((link_id, cost)) & _FP_MASK
 
 
 @dataclass
@@ -60,13 +82,28 @@ class CostTable:
     """A node's view of every link's cost, indexed by link id.
 
     Mutate only through ``table[link_id] = cost`` -- besides validating,
-    that keeps the cached fingerprint (see :meth:`cache_key`) honest.
+    that keeps the incremental fingerprint (see :meth:`cache_key`) honest.
     """
 
     costs: List[float]
 
     def __post_init__(self) -> None:
-        self._key: Optional[tuple] = None
+        self._rebuild_fingerprint()
+
+    def _rebuild_fingerprint(self) -> None:
+        """Full O(L) fingerprint build (construction only)."""
+        xor_part = 0
+        sum_part = 0
+        for link_id, cost in enumerate(self.costs):
+            entry = _entry_fp(link_id, cost)
+            xor_part ^= entry
+            sum_part += entry
+        self._fp_xor = xor_part
+        self._fp_sum = sum_part & _FP_MASK
+        #: Entries touched while maintaining the fingerprint: ``L`` for a
+        #: full build, ``+1`` per mutation.  Regression-tested so cache
+        #: lookups stay O(changed), never O(links).
+        self.key_work = len(self.costs)
 
     @classmethod
     def uniform(cls, network: Network, cost: float) -> "CostTable":
@@ -83,24 +120,33 @@ class CostTable:
     def __setitem__(self, link_id: int, cost: float) -> None:
         if cost < 0:
             raise ValueError(f"link cost must be >= 0, got {cost}")
+        old = self.costs[link_id]
         self.costs[link_id] = cost
-        self._key = None
+        old_fp = _entry_fp(link_id, old)
+        new_fp = _entry_fp(link_id, cost)
+        self._fp_xor ^= old_fp ^ new_fp
+        self._fp_sum = (self._fp_sum - old_fp + new_fp) & _FP_MASK
+        self.key_work += 1
 
     def copy(self) -> "CostTable":
-        return CostTable(list(self.costs))
+        clone = CostTable.__new__(CostTable)
+        clone.costs = list(self.costs)
+        clone._fp_xor = self._fp_xor
+        clone._fp_sum = self._fp_sum
+        clone.key_work = 0
+        return clone
 
     def cache_key(self) -> tuple:
-        """The table's contents as a hashable fingerprint.
+        """A hashable content fingerprint of the table, in O(1).
 
         Two tables with equal keys route identically; the network-wide
         SPF cache (:mod:`repro.routing.spf_cache`) uses this to share
-        Dijkstra results between nodes whose cost views agree.  Cached
-        between mutations, so repeated lookups are free.
+        Dijkstra results between nodes whose cost views agree.  The
+        fingerprint is maintained incrementally by ``__setitem__`` (two
+        independent 64-bit mixes of per-entry digests), so a lookup after
+        *k* mutations costs O(k) total, not O(links) per lookup.
         """
-        key = self._key
-        if key is None:
-            key = self._key = tuple(self.costs)
-        return key
+        return (len(self.costs), self._fp_xor, self._fp_sum)
 
 
 class SpfTree:
@@ -128,6 +174,9 @@ class SpfTree:
         #: link id of the tree edge *into* each node (None for root and
         #: unreachable nodes).
         self.parent_link: Dict[int, Optional[int]] = {}
+        #: Lazily built (link count, out map, in map) adjacency snapshot;
+        #: see :meth:`_static_adjacency`.
+        self._adj_cache: Optional[tuple] = None
         self.recompute()
 
     # ------------------------------------------------------------------
@@ -205,6 +254,136 @@ class SpfTree:
         self._reattach_subtree(link.dst)
         return True
 
+    def update_costs(self, changes) -> bool:
+        """Apply many link-cost changes in **one** repair pass.
+
+        ``changes`` is an iterable of ``(link_id, new_cost)`` pairs (the
+        last write wins when a link appears twice).  Semantically this is
+        a batched routing interval: the tree afterwards is a valid
+        shortest-path tree under the new costs -- property-tested equal
+        in distances to a full :meth:`recompute` -- but where several
+        equal-cost routes exist it may break ties differently than
+        applying the same changes one :meth:`update_cost` at a time.
+
+        The pass generalizes the single-link cases: all increased tree
+        links detach one *union* subtree, which is re-seeded across its
+        boundary together with every decreased link, then settled with a
+        single Dijkstra scan.  Cost: one scan of the affected region,
+        however many links changed, instead of one scan per link.
+
+        Returns ``True`` when the tree was adjusted (same contract as
+        :meth:`update_cost`).
+        """
+        effective: Dict[int, float] = {}
+        for link_id, new_cost in changes:
+            if new_cost < 0:
+                raise ValueError(f"link cost must be >= 0, got {new_cost}")
+            effective[link_id] = new_cost
+
+        decreased: List[int] = []
+        detach_roots: List[int] = []
+        applied = 0
+        for link_id, new_cost in effective.items():
+            old_cost = self.costs[link_id]
+            if new_cost == old_cost:
+                continue
+            self.costs[link_id] = new_cost
+            applied += 1
+            link = self.network.link(link_id)
+            if new_cost < old_cost:
+                decreased.append(link_id)
+            elif self.parent_link.get(link.dst) == link_id:
+                detach_roots.append(link.dst)
+            # Increases on non-tree links need no work at all.
+
+        if applied == 0:
+            self.stats.no_op_updates += 1
+            return False
+        self.stats.batched_changes += applied
+
+        dist = self.dist
+        parent = self.parent_link
+        network = self.network
+        costs = self.costs
+
+        # Detach the union of the subtrees below every increased tree
+        # link; everything outside keeps a still-achievable distance.
+        # Children are discovered through the static adjacency -- ``m``
+        # hangs off ``n`` exactly when ``parent_link[m]`` is a link
+        # n->m -- so the walk costs O(subtree * degree) instead of the
+        # O(N) children index a 512-node tree pays per pass.
+        detached: Set[int] = set()
+        if detach_roots:
+            out_adj, in_adj = self._static_adjacency()
+            stack = detach_roots
+            while stack:
+                node = stack.pop()
+                if node in detached:
+                    continue
+                detached.add(node)
+                for link in out_adj[node]:
+                    if parent.get(link.dst) == link.link_id:
+                        stack.append(link.dst)
+        for node in detached:
+            dist[node] = UNREACHABLE
+            parent[node] = None
+
+        heap: List = []
+        sequence = count()
+        moved = bool(detached)
+
+        # Re-seed detached nodes from every link crossing the boundary.
+        for node in detached:
+            for link in in_adj[node]:
+                if not link.up or link.src in detached:
+                    continue
+                cost = costs[link.link_id]
+                base = dist[link.src]
+                if math.isinf(cost) or math.isinf(base):
+                    continue
+                candidate = base + cost
+                if candidate < dist[node]:
+                    dist[node] = candidate
+                    parent[node] = link.link_id
+                    heapq.heappush(heap, (candidate, next(sequence), node))
+
+        # Relax every decreased link directly (strict improvement only,
+        # matching update_cost's tie behaviour).
+        for link_id in decreased:
+            link = network.link(link_id)
+            base = dist[link.src]
+            cost = costs[link_id]
+            if math.isinf(base) or math.isinf(cost):
+                continue
+            candidate = base + cost
+            if candidate < dist[link.dst]:
+                dist[link.dst] = candidate
+                parent[link.dst] = link_id
+                heapq.heappush(heap, (candidate, next(sequence), link.dst))
+                moved = True
+
+        if not heap and not moved:
+            self.stats.no_op_updates += 1
+            return False
+        self.stats.batched_passes += 1
+
+        # One settle pass over the whole affected region.
+        while heap:
+            d, _seq, node = heapq.heappop(heap)
+            if d > dist[node]:
+                continue
+            self.stats.nodes_scanned += 1
+            for out in network.out_links(node):
+                cost = costs[out.link_id]
+                if math.isinf(cost):
+                    continue
+                candidate = d + cost
+                if candidate < dist[out.dst]:
+                    dist[out.dst] = candidate
+                    parent[out.dst] = out.link_id
+                    heapq.heappush(heap, (candidate, next(sequence), out.dst))
+        return True
+
     def _propagate_improvement(self, link_id: int) -> None:
         """Relax outward from a link whose cost dropped."""
         link = self.network.link(link_id)
@@ -276,12 +455,43 @@ class SpfTree:
                     self.parent_link[out.dst] = out.link_id
                     heapq.heappush(heap, (candidate, next(sequence), out.dst))
 
-    def _collect_subtree(self, subtree_root: int) -> Set[int]:
-        """All nodes whose tree path passes through ``subtree_root``."""
-        children: Dict[int, List[int]] = {n: [] for n in self.network.nodes}
+    def _static_adjacency(self) -> Tuple[Dict[int, List], Dict[int, List]]:
+        """Per-node outgoing and incoming :class:`Link` lists, cached.
+
+        Down links are *included* -- callers check ``link.up`` where it
+        matters -- because the link set is append-only for a network's
+        lifetime while up/down flags toggle freely, which lets the lists
+        survive failures and recoveries.  Rebuilt only when links were
+        added since the snapshot was taken.
+        """
+        cache = self._adj_cache
+        links = self.network.links
+        if cache is None or cache[0] != len(links):
+            out_map: Dict[int, List] = {n: [] for n in self.network.nodes}
+            in_map: Dict[int, List] = {n: [] for n in self.network.nodes}
+            for link in links:
+                out_map[link.src].append(link)
+                in_map[link.dst].append(link)
+            cache = self._adj_cache = (len(links), out_map, in_map)
+        return cache[1], cache[2]
+
+    def _children_index(self) -> Dict[int, List[int]]:
+        """Tree children per node, from the parent-link pointers."""
+        children: Dict[int, List[int]] = {}
+        links = self.network.links
         for node, link_id in self.parent_link.items():
             if link_id is not None:
-                children[self.network.link(link_id).src].append(node)
+                src = links[link_id].src
+                bucket = children.get(src)
+                if bucket is None:
+                    children[src] = [node]
+                else:
+                    bucket.append(node)
+        return children
+
+    def _collect_subtree(self, subtree_root: int) -> Set[int]:
+        """All nodes whose tree path passes through ``subtree_root``."""
+        children = self._children_index()
         subtree: Set[int] = set()
         stack = [subtree_root]
         while stack:
@@ -289,7 +499,7 @@ class SpfTree:
             if node in subtree:
                 continue
             subtree.add(node)
-            stack.extend(children[node])
+            stack.extend(children.get(node, ()))
         return subtree
 
     # ------------------------------------------------------------------

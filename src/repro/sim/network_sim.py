@@ -74,6 +74,19 @@ class ScenarioConfig:
     #: tables.  Pure speed -- same-seed runs are bit-identical with it
     #: off -- so it only exists as a knob for A/B verification.
     spf_cache: bool = True
+    #: Event-queue backend: "auto" (heap for small runs, calendar queue
+    #: once the pending count grows), "heap", or "calendar".  Scheduler
+    #: choice never changes results, only speed; None defers to
+    #: ``Simulator.DEFAULT_SCHEDULER``.
+    scheduler: Optional[str] = None
+    #: Batch routing updates per SPF repair: pending cost changes are
+    #: applied in one ``SpfTree.update_costs`` pass when the tree is next
+    #: consulted, instead of one incremental repair per update.  ``None``
+    #: (auto) enables it on networks of >= ``BATCHED_SPF_MIN_NODES``
+    #: nodes.  Batching may break equal-cost ties differently than
+    #: per-update repair (both are valid shortest paths), so paper-sized
+    #: golden scenarios keep the per-update path.
+    batched_spf: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -87,6 +100,15 @@ class ScenarioConfig:
                 f"multipath must be None, 'flow' or 'packet': "
                 f"{self.multipath!r}"
             )
+        if self.scheduler not in (None, "auto", "heap", "calendar"):
+            raise ValueError(
+                f"scheduler must be None, 'auto', 'heap' or 'calendar': "
+                f"{self.scheduler!r}"
+            )
+
+
+#: Auto-enable batched SPF repair on networks at least this large.
+BATCHED_SPF_MIN_NODES = 128
 
 
 class NetworkSimulation:
@@ -104,7 +126,7 @@ class NetworkSimulation:
         self.traffic = traffic
         self.config = config or ScenarioConfig()
 
-        self.sim = Simulator()
+        self.sim = Simulator(scheduler=self.config.scheduler)
         self.streams = RandomStreams(self.config.seed)
         self.stats = StatsCollector(network, warmup_s=self.config.warmup_s)
         #: One SPF cache for the whole network (None = disabled).
@@ -124,6 +146,9 @@ class NetworkSimulation:
             )
             for link in network.links
         }
+        batched_spf = self.config.batched_spf
+        if batched_spf is None:
+            batched_spf = len(network.nodes) >= BATCHED_SPF_MIN_NODES
         self.psns: Dict[int, Psn] = {
             node.node_id: Psn(
                 self.sim,
@@ -143,6 +168,7 @@ class NetworkSimulation:
                 multipath_slack=self.config.multipath_slack,
                 flow_control_window=self.config.flow_control_window,
                 spf_cache=self.spf_cache,
+                batched_spf=batched_spf,
             )
             for node in network
         }
@@ -207,6 +233,12 @@ class NetworkSimulation:
         """
         horizon = until_s if until_s is not None else self.config.duration_s
         self.sim.run(until=horizon)
+        # Batched-SPF nodes may end the run with routing updates still
+        # buffered (received, but never needed for a forwarding decision
+        # since); apply them so post-run tree inspection sees every
+        # update, exactly as the per-update path would.
+        for psn in self.psns.values():
+            psn.flush_pending_updates()
         update_transmissions = sum(
             t.update_packets_sent for t in self.transmitters.values()
         )

@@ -21,6 +21,7 @@ input order.  Determinism is preserved in both senses:
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
@@ -90,15 +91,24 @@ def run_many(
     specs:
         The runs to execute.  Results come back in input order.
     processes:
-        Worker pool size; ``None`` lets the executor pick one per CPU.
-        ``processes <= 1`` (or fewer than two specs) runs serially in
+        Worker pool size; ``None`` uses one worker per CPU
+        (``os.cpu_count()``).  Never more workers than specs, and
+        ``processes == 1`` (or fewer than two specs) runs serially in
         this process -- same results, no pool overhead -- so callers can
         always use :func:`run_many` and tune ``processes`` freely.
+
+    Large spec lists are handed to the pool in chunks (about four per
+    worker) so per-task pickling round-trips don't dominate experiments
+    made of many short runs.
     """
     specs = list(specs)
     if processes is not None and processes < 1:
         raise ValueError(f"processes must be >= 1, got {processes}")
-    if (processes is not None and processes == 1) or len(specs) < 2:
+    if processes is None:
+        processes = os.cpu_count() or 1
+    processes = min(processes, len(specs))
+    if processes <= 1 or len(specs) < 2:
         return [run_spec(spec) for spec in specs]
+    chunksize = max(1, len(specs) // (processes * 4))
     with ProcessPoolExecutor(max_workers=processes) as pool:
-        return list(pool.map(run_spec, specs))
+        return list(pool.map(run_spec, specs, chunksize=chunksize))

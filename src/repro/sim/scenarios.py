@@ -24,6 +24,11 @@ from repro.topology import (
     build_milnet_1987,
     build_two_region_network,
 )
+from repro.topology.generators import (
+    build_grid_network,
+    build_random_network,
+)
+from repro.topology.linetypes import line_type
 from repro.topology.arpanet import site_weights
 from repro.topology.milnet import milnet_site_weights
 from repro.traffic import TrafficMatrix
@@ -81,6 +86,49 @@ def _milnet_hnspf(config: ScenarioConfig):
     )
 
 
+# ----------------------------------------------------------------------
+# Generated large-network scenarios (the ROADMAP's "as many scenarios as
+# we can imagine" direction).  Traffic is a sparse random-pairs matrix --
+# a dense matrix at 512 nodes would mean 262k sources.  The random
+# networks run on T1 trunks: at hundreds of links, flooding alone (one
+# update packet per link per flood) outgrows a 56 kb/s control channel,
+# which is exactly why the late-80s networks upgraded.  At >= 128 nodes
+# these auto-enable batched SPF repair.
+# ----------------------------------------------------------------------
+def _grid64(config: ScenarioConfig):
+    network = build_grid_network(8, 8)
+    traffic = TrafficMatrix.random_pairs(
+        network, 250_000.0, pairs=192, seed=1
+    )
+    return NetworkSimulation(
+        network, HopNormalizedMetric(), traffic, config
+    )
+
+
+def _rand256(config: ScenarioConfig):
+    network = build_random_network(
+        256, extra_circuits=64, seed=11, line=line_type("T1-T")
+    )
+    traffic = TrafficMatrix.random_pairs(
+        network, 4_000_000.0, pairs=512, seed=11
+    )
+    return NetworkSimulation(
+        network, HopNormalizedMetric(), traffic, config
+    )
+
+
+def _rand512(config: ScenarioConfig):
+    network = build_random_network(
+        512, extra_circuits=128, seed=17, line=line_type("T1-T")
+    )
+    traffic = TrafficMatrix.random_pairs(
+        network, 8_000_000.0, pairs=1024, seed=17
+    )
+    return NetworkSimulation(
+        network, HopNormalizedMetric(), traffic, config
+    )
+
+
 def _two_region_dspf(config: ScenarioConfig):
     built = build_two_region_network(nodes_per_region=4)
     traffic = TrafficMatrix.two_region(
@@ -107,6 +155,9 @@ _BUILDERS: Dict[str, Callable] = {
     "milnet-hnspf": _milnet_hnspf,
     "two-region-dspf": _two_region_dspf,
     "two-region-hnspf": _two_region_hnspf,
+    "grid64": _grid64,
+    "rand256": _rand256,
+    "rand512": _rand512,
 }
 
 

@@ -89,6 +89,12 @@ def _build_standard_registry() -> Dict[str, LineType]:
         LineType("56K-S", kbps(56.0), satellite,
                  default_propagation_s=SATELLITE_PROPAGATION_S),
         LineType("2x56K-T", 2 * kbps(56.0), terrestrial, trunk_count=2),
+        # The T1 trunk of the late-80s upgrade wave.  The paper's
+        # configurations never use it; the generated large-network
+        # scenarios do, because at hundreds of links the flooding plane
+        # alone (one update packet per link per flood) outgrows a 56 kb/s
+        # control channel.
+        LineType("T1-T", kbps(1544.0), terrestrial),
     ]
     assert len(types) <= MAX_LINE_TYPES
     return {lt.name: lt for lt in types}

@@ -9,6 +9,7 @@ for it.
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.topology.graph import Network
@@ -85,6 +86,40 @@ class TrafficMatrix:
         """A matrix of a few explicit large flows (section 4.5's hard
         case for single-path routing)."""
         return cls(pairs)
+
+    @classmethod
+    def random_pairs(
+        cls,
+        network: Network,
+        total_bps: float,
+        pairs: int,
+        seed: int = 0,
+    ) -> "TrafficMatrix":
+        """``pairs`` distinct random ordered demands of equal size.
+
+        The sparse alternative to :meth:`uniform` for generated
+        large-network scenarios, where a dense O(n^2) matrix would need
+        one traffic source per node pair (262k sources at 512 nodes) and
+        swamp the simulation with source bookkeeping instead of routing.
+        Same (network, seed) always yields the same matrix.
+        """
+        if total_bps < 0:
+            raise ValueError(f"total must be >= 0, got {total_bps}")
+        if pairs < 1:
+            raise ValueError(f"need at least one pair, got {pairs}")
+        node_ids = [node.node_id for node in network]
+        max_pairs = len(node_ids) * (len(node_ids) - 1)
+        if pairs > max_pairs:
+            raise ValueError(
+                f"{pairs} pairs requested but only {max_pairs} exist"
+            )
+        rng = random.Random(seed)
+        chosen = set()
+        while len(chosen) < pairs:
+            src, dst = rng.sample(node_ids, 2)
+            chosen.add((src, dst))
+        per_pair = total_bps / pairs
+        return cls({pair: per_pair for pair in sorted(chosen)})
 
     @classmethod
     def two_region(

@@ -1,0 +1,133 @@
+"""The numpy fast paths must agree with the scalar reference paths.
+
+The analysis package has two implementations of its hot loops: the
+original per-link Python (kept as the reference and as the fallback for
+third-party metrics) and the vectorized numpy pipeline used at scale.
+These tests pin their equivalence -- bit-identical for the operational
+(fluid) pipeline, within bisection tolerance for the equilibrium solver.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    build_response_map,
+    equilibrium_point,
+    equilibrium_points,
+    reference_link,
+)
+from repro.analysis.fluid import FluidNetworkModel
+from repro.metrics import DelayMetric, HopNormalizedMetric, MinHopMetric
+from repro.metrics.queueing import (
+    delay_to_utilization,
+    delay_to_utilization_array,
+    utilization_to_delay_s,
+    utilization_to_delay_s_array,
+)
+from repro.topology import build_arpanet_1987
+from repro.topology.arpanet import site_weights
+from repro.traffic import TrafficMatrix
+
+ALL_METRICS = [HopNormalizedMetric, DelayMetric, MinHopMetric]
+
+
+@pytest.fixture(scope="module")
+def rmap():
+    net = build_arpanet_1987()
+    traffic = TrafficMatrix.gravity(net, 366_000.0, weights=site_weights())
+    return build_response_map(net, traffic)
+
+
+@pytest.fixture(scope="module")
+def link():
+    return reference_link("56K-T", propagation_s=0.001)
+
+
+def test_queueing_transforms_match_scalar():
+    utilizations = np.linspace(0.0, 1.2, 50)
+    bandwidth = 56_000.0
+    delays = utilization_to_delay_s_array(
+        utilizations, bandwidth, propagations_s=0.005
+    )
+    for u, d in zip(utilizations, delays):
+        assert d == utilization_to_delay_s(
+            float(u), bandwidth, propagation_s=0.005
+        )
+    back = delay_to_utilization_array(delays, bandwidth, propagations_s=0.005)
+    for d, u in zip(delays, back):
+        assert u == delay_to_utilization(float(d), bandwidth,
+                                         propagation_s=0.005)
+
+
+@pytest.mark.parametrize("metric_cls", ALL_METRICS)
+def test_cost_at_utilization_array_matches_scalar(metric_cls, link):
+    metric = metric_cls()
+    utilizations = np.linspace(0.0, 1.0, 101)
+    vector = metric.cost_at_utilization_array(link, utilizations)
+    for u, cost in zip(utilizations, vector):
+        assert cost == metric.cost_at_utilization(link, float(u))
+
+
+@pytest.mark.parametrize("metric_cls", ALL_METRICS)
+def test_measured_costs_vector_matches_scalar(metric_cls):
+    """The struct-of-arrays pipeline is bit-identical to per-link state."""
+    metric = metric_cls()
+    net = build_arpanet_1987()
+    links = list(net.links)
+    vstate = metric.create_vector_state(links)
+    assert vstate is not None
+    states = {l.link_id: metric.create_state(l) for l in links}
+    rng = np.random.default_rng(42)
+    for _ in range(10):
+        utilizations = rng.uniform(0.0, 1.0, len(links))
+        delays = utilization_to_delay_s_array(
+            utilizations,
+            np.array([l.bandwidth_bps for l in links]),
+            propagations_s=np.array([l.propagation_s for l in links]),
+        )
+        vector = metric.measured_costs(vstate, delays)
+        for i, l in enumerate(links):
+            scalar = metric.measured_cost(l, states[l.link_id],
+                                          float(delays[i]))
+            assert vector[i] == scalar, (metric.name, l.link_id)
+
+
+@pytest.mark.parametrize("metric_cls", ALL_METRICS)
+def test_fluid_model_vector_path_matches_scalar(metric_cls):
+    metric = metric_cls()
+    net = build_arpanet_1987()
+    traffic = TrafficMatrix.gravity(net, 732_000.0, weights=site_weights())
+    vec = FluidNetworkModel(net, metric, traffic)
+    assert vec._vector_state is not None
+    scal = FluidNetworkModel(build_arpanet_1987(), metric_cls(), traffic)
+    # Force the per-link reference path.
+    scal._vector_state = None
+    scal._metric_state = {
+        l.link_id: scal.metric.create_state(l) for l in scal.network.links
+    }
+    for round_index in range(8):
+        a = vec.step(round_index)
+        b = scal.step(round_index)
+        assert vec.costs.costs == scal.costs.costs, round_index
+        assert a.mean_utilization == b.mean_utilization
+        assert a.churn == b.churn
+        assert a.overload_bps == b.overload_bps
+
+
+@pytest.mark.parametrize("metric_cls", ALL_METRICS)
+def test_equilibrium_points_match_scalar_bisection(metric_cls, rmap, link):
+    metric = metric_cls()
+    loads = np.linspace(0.0, 4.0, 41)
+    vector = equilibrium_points(metric, link, rmap, loads)
+    for load, point in zip(loads, vector):
+        ref = equilibrium_point(metric, link, rmap, float(load))
+        assert point.reported_cost_hops == pytest.approx(
+            ref.reported_cost_hops, abs=1e-5
+        )
+        assert point.utilization == pytest.approx(ref.utilization, abs=1e-5)
+
+
+def test_equilibrium_points_empty_and_negative(rmap, link):
+    assert equilibrium_points(HopNormalizedMetric(), link, rmap, []) == []
+    with pytest.raises(ValueError):
+        equilibrium_points(HopNormalizedMetric(), link, rmap, [0.5, -1.0])

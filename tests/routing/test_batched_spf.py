@@ -1,0 +1,120 @@
+"""Batched multi-link SPF repair: ``SpfTree.update_costs``.
+
+The batched pass promises a valid shortest-path tree after absorbing an
+arbitrary mix of cost increases and decreases in one scan.  The
+property test drives it with random topologies and random deltas and
+checks the resulting *distances* against a from-scratch Dijkstra --
+distances, not parent pointers, because the batch is allowed to break
+equal-cost ties differently than per-link application.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.routing.spf import CostTable, SpfTree
+from repro.topology.generators import build_random_network, build_ring_network
+
+
+def _tree(network, costs, root=0):
+    return SpfTree(network, root, CostTable(list(costs)))
+
+
+def _assert_valid_tree(tree, network, costs):
+    """Structural invariants: every parent pointer is consistent."""
+    for node, link_id in tree.parent_link.items():
+        if link_id is None:
+            assert node == tree.root or math.isinf(tree.dist[node])
+            continue
+        link = network.links[link_id]
+        assert link.dst == node
+        assert tree.dist[node] == tree.dist[link.src] + costs[link_id]
+
+
+# ----------------------------------------------------------------------
+# Deterministic cases
+# ----------------------------------------------------------------------
+def test_empty_batch_is_a_no_op():
+    network = build_ring_network(5)
+    tree = _tree(network, [1.0] * len(network.links))
+    before = dict(tree.dist)
+    assert tree.update_costs([]) is False
+    assert tree.dist == before
+    assert tree.stats.batched_passes == 0
+
+
+def test_unchanged_costs_are_a_no_op():
+    network = build_ring_network(5)
+    tree = _tree(network, [1.0] * len(network.links))
+    assert tree.update_costs([(0, 1.0), (3, 1.0)]) is False
+    assert tree.stats.no_op_updates == 1
+
+
+def test_last_write_wins_for_duplicate_links():
+    network = build_ring_network(4)
+    tree = _tree(network, [1.0] * len(network.links))
+    assert tree.update_costs([(0, 9.0), (0, 1.0)]) is False
+    assert tree.costs[0] == 1.0
+
+
+def test_mixed_batch_matches_recompute():
+    network = build_random_network(10, extra_circuits=4, seed=7)
+    costs = [float(c) for c in range(2, 2 + len(network.links))]
+    tree = _tree(network, costs)
+    # Guarantee real tree surgery: push one in-use (tree) link way up,
+    # pull two others way down, bump one non-tree link.
+    tree_link = next(
+        link_id for link_id in tree.parent_link.values() if link_id is not None
+    )
+    changes = [(tree_link, 50.0), (1, 1.0), (5, 30.0), (8, 1.0)]
+    assert tree.update_costs(changes) is True
+    for link_id, cost in changes:
+        costs[link_id] = cost
+    fresh = _tree(network, costs)
+    assert tree.dist == fresh.dist
+    _assert_valid_tree(tree, network, costs)
+    assert tree.stats.batched_passes == 1
+    assert tree.stats.batched_changes == len(changes)
+
+
+# ----------------------------------------------------------------------
+# Property: batched repair == full recompute, in distances
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_update_costs_equals_recompute(data):
+    nodes = data.draw(st.integers(min_value=3, max_value=12), label="nodes")
+    extra = data.draw(st.integers(min_value=0, max_value=6), label="extra")
+    topo_seed = data.draw(st.integers(min_value=0, max_value=999),
+                          label="topo_seed")
+    network = build_random_network(nodes, extra_circuits=extra,
+                                   seed=topo_seed)
+    link_count = len(network.links)
+
+    cost_value = st.integers(min_value=1, max_value=20).map(float)
+    costs = data.draw(
+        st.lists(cost_value, min_size=link_count, max_size=link_count),
+        label="costs",
+    )
+    changes = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=link_count - 1),
+                cost_value,
+            ),
+            max_size=link_count,
+        ),
+        label="changes",
+    )
+
+    tree = _tree(network, costs)
+    tree.update_costs(changes)
+
+    final = list(costs)
+    for link_id, cost in changes:
+        final[link_id] = cost
+    fresh = _tree(network, final)
+
+    assert tree.dist == fresh.dist
+    assert list(tree.costs.costs) == final
+    _assert_valid_tree(tree, network, final)

@@ -207,3 +207,43 @@ def test_simulation_identical_with_cache_on_and_off():
     assert sim_off.spf_cache is None
     assert dataclasses.asdict(report_on) == dataclasses.asdict(report_off)
     assert sim_on.stats.cost_history == sim_off.stats.cost_history
+
+
+# ----------------------------------------------------------------------
+# Cache keys are O(changed), never O(links)
+# ----------------------------------------------------------------------
+def test_cache_key_work_is_o_changed_not_o_links():
+    """``key_work`` counts fingerprint entries touched: L to build the
+    table, then exactly one per mutation -- ``cache_key()`` itself adds
+    nothing, however many links the table holds or lookups happen."""
+    net = build_random_network(24, extra_circuits=12, seed=4)
+    links = len(net.links)
+    table = CostTable.uniform(net, 1.0)
+    assert table.key_work == links  # the one full build, at construction
+
+    for _ in range(100):
+        table.cache_key()
+    assert table.key_work == links  # lookups are free
+
+    for change, link_id in enumerate(range(0, links, 3)):
+        table[link_id] = 2.0 + change
+        table.cache_key()
+    changed = len(range(0, links, 3))
+    assert table.key_work == links + changed  # one entry per mutation
+
+
+def test_cache_key_tracks_content_not_history():
+    net = build_ring_network(5)
+    mutated = CostTable.uniform(net, 1.0)
+    mutated[2] = 7.0
+    mutated[4] = 3.0
+    mutated[2] = 1.0  # revert
+
+    assert CostTable(list(mutated.costs)).cache_key() == mutated.cache_key()
+
+    # And a genuine difference is never masked by the mixing.
+    mutated[4] = 1.0
+    assert CostTable(list(mutated.costs)).cache_key() == mutated.cache_key()
+    assert mutated.cache_key() != CostTable(
+        [2.0] * len(net.links)
+    ).cache_key()

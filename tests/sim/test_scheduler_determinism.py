@@ -1,0 +1,41 @@
+"""Cross-scheduler determinism: the calendar queue replays the goldens.
+
+Both event-queue backends pop in the identical total ``(time, seq)``
+order, so scheduler choice must never change simulation behaviour --
+only speed.  This test forces every simulation built by the golden
+cases onto the calendar queue (including the auto-migration machinery
+being bypassed entirely) and requires the exact snapshots recorded for
+the heap: same report, same reported-cost history, bit for bit.
+
+Together with ``test_golden_reports`` (which runs the same cases under
+the default scheduler) this pins the equivalence on every forwarding
+feature the goldens cross: single path, both multipath modes, line
+errors, flow control, and link failure/recovery.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.des.engine import Simulator
+from tests.golden.cases import CASES, run_case
+
+GOLDEN_PATH = pathlib.Path(__file__).resolve().parent.parent / "golden"
+
+
+def _golden():
+    with open(GOLDEN_PATH / "reports.json") as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_report_identical_on_calendar(name, monkeypatch):
+    monkeypatch.setattr(Simulator, "DEFAULT_SCHEDULER", "calendar")
+    golden = _golden()[name]
+    snapshot = run_case(name)
+    assert snapshot["cost_history_len"] == golden["cost_history_len"]
+    assert snapshot["cost_history_sha256"] == golden["cost_history_sha256"], (
+        f"{name}: calendar scheduler diverged from the recorded heap run"
+    )
+    assert snapshot["report"] == golden["report"]
