@@ -24,6 +24,13 @@ The short runs deliberately include each network's boot flood: a
 exactly the update-storm regime the batched SPF pass and the bucketed
 scheduler exist for.
 
+Alongside the timings, one extra *profiled* run of the fast-path
+configuration per rung records where its wall time goes (exclusive
+per-phase attribution from :mod:`repro.obs.profiler`; see
+``docs/observability.md``).  The profiled run is separate from the
+timed rounds so profiling overhead never contaminates the recorded
+events/sec.
+
 Environment knobs (for the informational CI job):
 
 * ``SCALE_BENCH_REPEATS``   -- interleaved rounds (default 2),
@@ -95,6 +102,31 @@ def _run_once(rung, config_name):
     }
 
 
+def profile_rung(rung, config_name="calendar+batched"):
+    """One profiled run of a rung: exclusive per-phase wall seconds.
+
+    Returns ``{"wall_s": ..., "phases": {phase: seconds}}`` for the
+    run.  Kept out of the timing rounds: wrapping the hot methods for
+    attribution costs a few percent, which must not leak into the
+    recorded events/sec.
+    """
+    config = ScenarioConfig(
+        duration_s=rung["duration_s"],
+        warmup_s=rung["warmup_s"],
+        seed=SEED,
+        profile=True,
+        **CONFIGS[config_name],
+    )
+    simulation = build_scenario(rung["name"], config=config)
+    report = simulation.run()
+    telemetry = report.telemetry
+    return {
+        "config": config_name,
+        "wall_s": telemetry.wall_s,
+        "phases": telemetry.phase_wall_s,
+    }
+
+
 def measure_scaling(repeats):
     """Interleaved best-of-``repeats`` measurement of the whole ladder."""
     ladder = _ladder()
@@ -130,6 +162,7 @@ def measure_scaling(repeats):
                 "fast_path_speedup": (
                     configs["calendar+batched"]["events_per_s"] / baseline
                 ),
+                "phase_profile": profile_rung(rung),
             }
         )
     return scenarios
@@ -150,6 +183,24 @@ def _render(scenarios):
             f"{cfg['calendar+batched']['events_per_s']:>12,.0f}/s "
             f"{s['fast_path_speedup']:>9.2f}x"
         )
+    return "\n".join(lines)
+
+
+def _render_profile(scenarios):
+    phases = ("spf", "forwarding", "stats", "measurement", "scheduling")
+    lines = [
+        f"{'scenario':<10} {'wall':>7} "
+        + " ".join(f"{phase:>12}" for phase in phases)
+    ]
+    for s in scenarios:
+        profile = s["phase_profile"]
+        wall = profile["wall_s"]
+        cells = []
+        for phase in phases:
+            seconds = profile["phases"].get(phase, 0.0)
+            share = (seconds / wall * 100.0) if wall else 0.0
+            cells.append(f"{seconds:>6.2f}s {share:>3.0f}%")
+        lines.append(f"{s['name']:<10} {wall:>6.2f}s " + " ".join(cells))
     return "\n".join(lines)
 
 
@@ -177,6 +228,10 @@ def test_bench_scale_events_per_sec():
     print("Large-network scaling: kernel events/sec by configuration")
     print("=" * 72)
     print(_render(scenarios))
+    print()
+    print("Fast-path wall-time attribution (exclusive, profiled run)")
+    print("-" * 72)
+    print(_render_profile(scenarios))
 
     for s in scenarios:
         cfg = s["configs"]

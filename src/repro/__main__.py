@@ -64,6 +64,8 @@ def cmd_simulate(args) -> int:
         warmup_s=min(args.duration / 4.0, 60.0),
         seed=args.seed,
         multipath=args.multipath,
+        trace=args.trace,
+        profile=args.profile,
     )
     if args.scenario:
         simulation = build_scenario(args.scenario, config=config)
@@ -99,7 +101,25 @@ def cmd_simulate(args) -> int:
 
         path = write_report_csv(args.csv, {report.metric_name: report})
         print(f"\nreport written to {path}")
+    if args.trace:
+        tracer = simulation.tracer
+        print(f"\ntrace: {tracer.events_emitted} events -> {args.trace}")
+    if args.telemetry or args.profile:
+        print()
+        print(_telemetry_table(report.telemetry))
     return 0
+
+
+def _telemetry_table(telemetry) -> str:
+    """Render a :class:`~repro.obs.telemetry.RunTelemetry` block."""
+    rows = []
+    for key, value in telemetry.to_dict().items():
+        if key == "phase_wall_s":
+            continue
+        rows.append((key, value))
+    for phase, seconds in sorted(telemetry.phase_wall_s.items()):
+        rows.append((f"wall [{phase}] (s)", round(seconds, 4)))
+    return ascii_table(["counter", "value"], rows, title="run telemetry")
 
 
 def cmd_experiment(args) -> int:
@@ -190,6 +210,14 @@ def main(argv: Optional[list] = None) -> int:
                             choices=("flow", "packet"))
     p_simulate.add_argument("--csv", default=None,
                             help="also write the report to this CSV path")
+    p_simulate.add_argument("--trace", default=None, metavar="PATH",
+                            help="record a JSONL event trace to PATH "
+                                 "(see docs/observability.md)")
+    p_simulate.add_argument("--telemetry", action="store_true",
+                            help="print the run's hot-path counter block")
+    p_simulate.add_argument("--profile", action="store_true",
+                            help="attribute wall time per simulation "
+                                 "phase (implies --telemetry output)")
     p_simulate.set_defaults(handler=cmd_simulate)
 
     p_experiment = commands.add_parser(

@@ -74,7 +74,7 @@ class CalendarQueue:
 
     __slots__ = (
         "_buckets", "_nbuckets", "_width", "_size",
-        "_cursor_base", "_expand_at", "_shrink_at",
+        "_cursor_base", "_expand_at", "_shrink_at", "resizes",
     )
 
     #: Never shrink below this many buckets.
@@ -83,6 +83,10 @@ class CalendarQueue:
     def __init__(self, entries: Optional[List[tuple]] = None,
                  width: float = 0.01) -> None:
         self._size = 0
+        #: Bucket-array resizes (growth and shrink) over this queue's
+        #: lifetime; a telemetry counter -- resizes are rare, so the
+        #: increment never shows up in profiles.
+        self.resizes = 0
         self._spread(self.MIN_BUCKETS, max(width, 1e-12), 0.0)
         if entries:
             for entry in entries:
@@ -118,6 +122,7 @@ class CalendarQueue:
         self._shrink_at = nbuckets // 2 if nbuckets > self.MIN_BUCKETS else 0
 
     def _resize(self, nbuckets: int) -> None:
+        self.resizes += 1
         entries = [e for bucket in self._buckets for e in bucket]
         width = self._pick_width(entries)
         start = min(e[0] for e in entries) if entries else 0.0
@@ -259,6 +264,10 @@ class Simulator:
         self._next_seq = self._sequence.__next__
         self._active_process: Optional[Process] = None
         self._events_processed = 0
+        #: Per-backend splits of events_processed (telemetry; updated in
+        #: bulk once per run() call, never inside the event loop).
+        self.heap_events_processed = 0
+        self.calendar_events_processed = 0
         self._timers = None
         self.scheduler = scheduler
         self.calendar_threshold = calendar_threshold
@@ -402,10 +411,12 @@ class Simulator:
             if not self._calendar:
                 raise SimulationError("no events scheduled")
             entry = self._calendar.pop()
+            self.calendar_events_processed += 1
         else:
             if not self._queue:
                 raise SimulationError("no events scheduled")
             entry = heapq.heappop(self._queue)
+            self.heap_events_processed += 1
         self.now = entry[0]
         self._events_processed += 1
         entry[2](*entry[3])
@@ -466,6 +477,7 @@ class Simulator:
                     callback(item)
         finally:
             self._events_processed += processed
+            self.heap_events_processed += processed
 
     def _run_calendar(self, until: Optional[float]) -> None:
         """The calendar-queue event loop: same semantics, bucketed pops.
@@ -554,6 +566,7 @@ class Simulator:
                     callback(item)
         finally:
             self._events_processed += processed
+            self.calendar_events_processed += processed
             self._push = calendar.push
             for entry in staging:
                 # Only reachable when a callback raised mid-iteration:

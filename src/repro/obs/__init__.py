@@ -1,0 +1,93 @@
+"""Simulation observability: tracing, telemetry, profiling.
+
+The feedback loop real routing stacks have (SNMP counters, NOC traces)
+for this reproduction's simulator, in three zero-overhead-when-disabled
+pieces:
+
+* **structured event tracing** (:mod:`repro.obs.tracer`) -- a
+  :class:`Tracer` records typed, simulation-timestamped control-plane
+  events (cost changes, update flooding, SPF repairs, circuit
+  transitions, drops, utilization samples) into a pluggable sink:
+  in-memory ring, JSONL file, or null.  The
+  :mod:`repro.report.timeseries` adapter turns a trace back into the
+  paper's Fig. 8-13-style time series.
+* **hot-path counters** (:mod:`repro.obs.telemetry`) -- a
+  :class:`RunTelemetry` block harvested once per run from counters the
+  subsystems already keep (scheduler events, SPF work, flood
+  duplicates, cache hits); attached to every
+  :class:`~repro.sim.stats.SimulationReport` and mergeable across
+  parallel replications with :func:`merge_telemetry`.
+* **profiling hooks** (:mod:`repro.obs.profiler`) -- exclusive
+  per-phase wall-time attribution (scheduling / SPF / forwarding /
+  measurement / stats) behind the ``profile=True`` scenario flag.
+
+See ``docs/observability.md`` for the event schema, sink
+configuration, and the overhead guarantees.
+"""
+
+from repro.obs.profiler import (
+    PHASE_FORWARDING,
+    PHASE_MEASUREMENT,
+    PHASE_SCHEDULING,
+    PHASE_SPF,
+    PHASE_STATS,
+    PhaseProfiler,
+    instrument_psn,
+    instrument_stats,
+)
+from repro.obs.telemetry import RunTelemetry, merge_telemetry
+from repro.obs.tracer import (
+    CIRCUIT_FAIL,
+    CIRCUIT_RESTORE,
+    COST_CHANGE,
+    EVENT_KINDS,
+    NULL_TRACER,
+    PACKET_DROP,
+    SPF_BATCH_REPAIR,
+    SPF_RECOMPUTE,
+    UPDATE_ACCEPTED,
+    UPDATE_FLOODED,
+    UPDATE_GENERATED,
+    UPDATE_SUPPRESSED,
+    UTILIZATION,
+    JsonlSink,
+    NullSink,
+    RingSink,
+    TraceEvent,
+    Tracer,
+    build_tracer,
+    events_to_dicts,
+)
+
+__all__ = [
+    "CIRCUIT_FAIL",
+    "CIRCUIT_RESTORE",
+    "COST_CHANGE",
+    "EVENT_KINDS",
+    "NULL_TRACER",
+    "PACKET_DROP",
+    "PHASE_FORWARDING",
+    "PHASE_MEASUREMENT",
+    "PHASE_SCHEDULING",
+    "PHASE_SPF",
+    "PHASE_STATS",
+    "SPF_BATCH_REPAIR",
+    "SPF_RECOMPUTE",
+    "UPDATE_ACCEPTED",
+    "UPDATE_FLOODED",
+    "UPDATE_GENERATED",
+    "UPDATE_SUPPRESSED",
+    "UTILIZATION",
+    "JsonlSink",
+    "NullSink",
+    "PhaseProfiler",
+    "RingSink",
+    "RunTelemetry",
+    "TraceEvent",
+    "Tracer",
+    "build_tracer",
+    "events_to_dicts",
+    "instrument_psn",
+    "instrument_stats",
+    "merge_telemetry",
+]

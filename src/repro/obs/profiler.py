@@ -1,0 +1,126 @@
+"""Per-phase wall-time attribution for simulation runs.
+
+Answers "where does the wall time of a run actually go?" -- the
+question the next performance PR needs answered before touching code.
+Attribution is *exclusive*: a phase's total excludes time spent in
+nested phases (``forward`` flushing pending SPF repairs books that
+repair under ``spf``, not ``forwarding``), so the per-phase numbers sum
+to the instrumented total and the ``scheduling`` residual (event-loop
+dispatch, link transmitters, traffic sources) is what's left of the
+run's wall clock.
+
+Profiling works by wrapping *instance* attributes
+(:func:`instrument_psn` / :func:`instrument_stats`), so a run without
+``profile=True`` executes the original unwrapped methods -- the
+disabled path costs nothing, preserving the observability layer's
+zero-overhead guarantee and the golden snapshots' bit-identical replay
+(wrapping changes timing only; simulation behaviour is untouched
+either way).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List
+
+#: Phase names used by the instrumentation installers below.
+PHASE_SPF = "spf"
+PHASE_FORWARDING = "forwarding"
+PHASE_STATS = "stats"
+PHASE_MEASUREMENT = "measurement"
+#: The unattributed remainder of the run's wall time.
+PHASE_SCHEDULING = "scheduling"
+
+
+class PhaseProfiler:
+    """Accumulates exclusive wall time per named phase.
+
+    Phases nest: entering a phase pauses the enclosing one, leaving it
+    resumes.  Based on :func:`time.perf_counter`; the per-entry cost is
+    two clock reads, paid only when profiling is on.
+    """
+
+    def __init__(self) -> None:
+        self.phase_s: Dict[str, float] = {}
+        self._stack: List[str] = []
+        self._mark = 0.0
+        self._clock = time.perf_counter
+
+    def wrap(self, phase: str, fn: Callable) -> Callable:
+        """``fn`` with its execution time booked under ``phase``."""
+
+        def timed(*args, **kwargs):
+            self._push(phase)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self._pop()
+
+        timed.__wrapped__ = fn
+        return timed
+
+    def _push(self, phase: str) -> None:
+        now = self._clock()
+        stack = self._stack
+        if stack:
+            outer = stack[-1]
+            self.phase_s[outer] = (
+                self.phase_s.get(outer, 0.0) + now - self._mark
+            )
+        stack.append(phase)
+        self._mark = now
+
+    def _pop(self) -> None:
+        now = self._clock()
+        phase = self._stack.pop()
+        self.phase_s[phase] = self.phase_s.get(phase, 0.0) + now - self._mark
+        self._mark = now
+
+    def breakdown(self, total_wall_s: float) -> Dict[str, float]:
+        """Per-phase seconds plus the ``scheduling`` residual.
+
+        ``total_wall_s`` is the run's whole wall time; whatever the
+        wrapped phases did not claim is attributed to the event loop.
+        """
+        phases = dict(self.phase_s)
+        attributed = sum(phases.values())
+        phases[PHASE_SCHEDULING] = max(total_wall_s - attributed, 0.0)
+        return phases
+
+
+def instrument_psn(profiler: PhaseProfiler, psn) -> None:
+    """Install phase timing on one PSN's instance attributes.
+
+    Must run during :class:`~repro.psn.node.Psn` construction, *before*
+    the node registers periodic timers -- the timer wheel captures bound
+    callbacks at registration, so wrapping afterwards would miss them.
+    Wraps:
+
+    * the SPF repair entry points (``spf``),
+    * per-packet ``forward`` (``forwarding``),
+    * the measurement-interval close (``measurement``).
+    """
+    psn._apply_update = profiler.wrap(PHASE_SPF, psn._apply_update)
+    psn.flush_pending_updates = profiler.wrap(
+        PHASE_SPF, psn.flush_pending_updates
+    )
+    psn.forward = profiler.wrap(PHASE_FORWARDING, psn.forward)
+    psn._close_measurement_interval = profiler.wrap(
+        PHASE_MEASUREMENT, psn._close_measurement_interval
+    )
+
+
+def instrument_stats(profiler: PhaseProfiler, stats) -> None:
+    """Install ``stats``-phase timing on a collector's callbacks.
+
+    Callers look the callbacks up at call time (``self.stats.packet_...``),
+    so instance-attribute wrapping after construction is sufficient here.
+    """
+    for name in (
+        "packet_offered",
+        "packet_delivered",
+        "packet_dropped",
+        "utilization_sample",
+        "update_originated",
+    ):
+        setattr(stats, name, profiler.wrap(PHASE_STATS, getattr(stats, name)))

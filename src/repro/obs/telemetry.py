@@ -1,0 +1,181 @@
+"""Hot-path counters, aggregated per run.
+
+A :class:`RunTelemetry` block is the quantitative companion to the
+event trace: cheap monotonic counters that the simulator's subsystems
+already maintain (or that cost one integer increment on a cold path),
+harvested *once* at the end of a run.  Nothing here touches the
+per-event hot loop -- collection is an O(nodes + links) sweep over
+counters that exist anyway, which is what keeps the zero-overhead
+guarantee honest while still attaching a telemetry block to every
+:class:`~repro.sim.stats.SimulationReport`.
+
+Telemetry blocks form a commutative monoid under :meth:`RunTelemetry.merge`
+(every field is a sum), so :func:`merge_telemetry` is the reducer
+:func:`~repro.sim.parallel.run_many` callers use to aggregate parallel
+replications instead of discarding per-worker counters.  Associativity
+is regression-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, Optional
+
+
+@dataclass
+class RunTelemetry:
+    """Counters and timings harvested from one simulation run."""
+
+    #: Runs merged into this block (1 for a single run).
+    runs: int = 1
+
+    # -- kernel ---------------------------------------------------------
+    #: Queue entries processed, total and per scheduler backend.
+    events_processed: int = 0
+    events_heap: int = 0
+    events_calendar: int = 0
+    #: Entries still pending when the run ended (scheduled = processed
+    #: + pending: the sequence counter is drawn once per push).
+    events_pending: int = 0
+    #: Calendar-queue bucket-array resizes (growth and shrink).
+    calendar_resizes: int = 0
+
+    # -- route computation ---------------------------------------------
+    spf_full_computations: int = 0
+    spf_incremental_updates: int = 0
+    spf_no_op_updates: int = 0
+    spf_nodes_scanned: int = 0
+    spf_batched_passes: int = 0
+    spf_batched_changes: int = 0
+
+    # -- flooding -------------------------------------------------------
+    flood_generated: int = 0
+    flood_accepted: int = 0
+    flood_duplicates: int = 0
+    flood_forwarded: int = 0
+
+    # -- SPF cache ------------------------------------------------------
+    cache_table_hits: int = 0
+    cache_table_misses: int = 0
+    cache_tree_hits: int = 0
+    cache_tree_misses: int = 0
+    cache_evictions: int = 0
+
+    # -- link layer -----------------------------------------------------
+    data_packets_sent: int = 0
+    control_packets_sent: int = 0
+    update_packets_sent: int = 0
+    transmitter_drops: int = 0
+    line_error_losses: int = 0
+
+    # -- observability itself ------------------------------------------
+    #: Trace events emitted (0 for disabled runs).
+    trace_events: int = 0
+
+    # -- wall time ------------------------------------------------------
+    #: Wall seconds spent inside :meth:`NetworkSimulation.run`.
+    wall_s: float = 0.0
+    #: Exclusive per-phase wall seconds (only under ``profile=True``;
+    #: empty otherwise).  Keys: ``spf``, ``forwarding``, ``stats``,
+    #: ``measurement``, ``scheduling`` (the unattributed residual).
+    phase_wall_s: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "RunTelemetry") -> "RunTelemetry":
+        """A new block combining two runs (every field sums)."""
+        merged = RunTelemetry()
+        for name, value in asdict(self).items():
+            if name == "phase_wall_s":
+                continue
+            setattr(merged, name, value + getattr(other, name))
+        phases = dict(self.phase_wall_s)
+        for phase, seconds in other.phase_wall_s.items():
+            phases[phase] = phases.get(phase, 0.0) + seconds
+        merged.phase_wall_s = phases
+        return merged
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-ready)."""
+        return asdict(self)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Combined SPF-cache hit fraction (nan with no lookups)."""
+        lookups = (
+            self.cache_table_hits + self.cache_table_misses
+            + self.cache_tree_hits + self.cache_tree_misses
+        )
+        if lookups == 0:
+            return float("nan")
+        return (self.cache_table_hits + self.cache_tree_hits) / lookups
+
+    @classmethod
+    def collect(
+        cls,
+        simulation,
+        wall_s: float = 0.0,
+        phase_wall_s: Optional[Dict[str, float]] = None,
+    ) -> "RunTelemetry":
+        """Harvest counters from a finished (or paused) simulation.
+
+        ``simulation`` is a :class:`~repro.sim.network_sim.NetworkSimulation`;
+        the sweep only reads counters its subsystems already keep.
+        """
+        sim = simulation.sim
+        telemetry = cls(
+            events_processed=sim.events_processed,
+            events_heap=sim.heap_events_processed,
+            events_calendar=sim.calendar_events_processed,
+            events_pending=sim.pending,
+            calendar_resizes=(
+                sim._calendar.resizes if sim._calendar is not None else 0
+            ),
+            trace_events=simulation.tracer.events_emitted,
+            wall_s=wall_s,
+            phase_wall_s=dict(phase_wall_s or {}),
+        )
+        for psn in simulation.psns.values():
+            spf = psn.tree.stats
+            telemetry.spf_full_computations += spf.full_computations
+            telemetry.spf_incremental_updates += spf.incremental_updates
+            telemetry.spf_no_op_updates += spf.no_op_updates
+            telemetry.spf_nodes_scanned += spf.nodes_scanned
+            telemetry.spf_batched_passes += spf.batched_passes
+            telemetry.spf_batched_changes += spf.batched_changes
+            flood = psn.flooding.stats
+            telemetry.flood_generated += flood.generated
+            telemetry.flood_accepted += flood.accepted
+            telemetry.flood_duplicates += flood.duplicates
+            telemetry.flood_forwarded += flood.forwarded
+        cache = simulation.spf_cache
+        if cache is not None:
+            telemetry.cache_table_hits = cache.stats.table_hits
+            telemetry.cache_table_misses = cache.stats.table_misses
+            telemetry.cache_tree_hits = cache.stats.tree_hits
+            telemetry.cache_tree_misses = cache.stats.tree_misses
+            telemetry.cache_evictions = cache.stats.evictions
+        for transmitter in simulation.transmitters.values():
+            telemetry.data_packets_sent += transmitter.data_packets_sent
+            telemetry.control_packets_sent += transmitter.control_packets_sent
+            telemetry.update_packets_sent += transmitter.update_packets_sent
+            telemetry.transmitter_drops += transmitter.drops
+            telemetry.line_error_losses += transmitter.line_error_losses
+        return telemetry
+
+
+def merge_telemetry(
+    blocks: Iterable[Optional[RunTelemetry]],
+) -> Optional[RunTelemetry]:
+    """Reduce telemetry blocks (e.g. from parallel replications) into one.
+
+    ``None`` entries (runs without telemetry -- a report built directly
+    from a :class:`~repro.sim.stats.StatsCollector`) are skipped;
+    returns ``None`` if nothing remains.  Associative and commutative:
+    any grouping of the same blocks merges to the same totals.
+    """
+    merged: Optional[RunTelemetry] = None
+    for block in blocks:
+        if block is None:
+            continue
+        merged = block if merged is None else merged.merge(block)
+    return merged

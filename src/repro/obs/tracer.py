@@ -1,0 +1,306 @@
+"""Structured event tracing.
+
+The paper's evidence is *instrumented* network behaviour: Figures 8-13
+are time series of reported cost, utilization and update traffic
+captured from live trunks.  The :class:`Tracer` records the same
+control-plane story from a simulation run -- typed events with
+simulation timestamps -- into a pluggable sink:
+
+* :class:`RingSink` -- a bounded in-memory ring (the default for
+  interactive use; old events fall off the front),
+* :class:`JsonlSink` -- one JSON object per line in a file, the
+  interchange format the :mod:`repro.report.timeseries` adapter reads,
+* :class:`NullSink` -- counts and discards (for overhead measurement).
+
+**Zero overhead when disabled** is a hard guarantee: the module-level
+:data:`NULL_TRACER` singleton is the disabled tracer; it owns no sink
+and its :attr:`Tracer.enabled` flag is ``False``.  Components never
+call a disabled tracer -- they hold ``None`` instead of a tracer and
+guard emission sites with one ``is not None`` test on the (cold)
+control plane.  The packet-level hot path is untouched: tracing covers
+routing dynamics (cost changes, update flooding, SPF repairs, circuit
+transitions, drops, utilization samples), never per-packet forwarding.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+# ----------------------------------------------------------------------
+# Event kinds (the trace schema; see docs/observability.md)
+# ----------------------------------------------------------------------
+#: A node's advertised cost for one of its links changed.
+COST_CHANGE = "cost-change"
+#: A routing update was originated (flood root).
+UPDATE_GENERATED = "update-generated"
+#: A received routing update was new and applied locally.
+UPDATE_ACCEPTED = "update-accepted"
+#: A received routing update was a duplicate and suppressed.
+UPDATE_SUPPRESSED = "update-suppressed"
+#: An update was forwarded onward; ``value`` is the number of links.
+UPDATE_FLOODED = "update-flooded"
+#: An incremental SPF repair ran; ``value`` is 1.0 if the tree changed.
+SPF_RECOMPUTE = "spf-recompute"
+#: A batched SPF repair pass ran; ``value`` is the changes absorbed.
+SPF_BATCH_REPAIR = "spf-batch-repair"
+#: A full-duplex circuit failed.
+CIRCUIT_FAIL = "circuit-fail"
+#: A failed circuit was restored.
+CIRCUIT_RESTORE = "circuit-restore"
+#: A data packet was dropped; ``data["reason"]`` says why.
+PACKET_DROP = "packet-drop"
+#: A ten-second link utilization sample closed; ``value`` is the busy
+#: fraction.
+UTILIZATION = "utilization"
+
+EVENT_KINDS = (
+    COST_CHANGE,
+    UPDATE_GENERATED,
+    UPDATE_ACCEPTED,
+    UPDATE_SUPPRESSED,
+    UPDATE_FLOODED,
+    SPF_RECOMPUTE,
+    SPF_BATCH_REPAIR,
+    CIRCUIT_FAIL,
+    CIRCUIT_RESTORE,
+    PACKET_DROP,
+    UTILIZATION,
+)
+
+
+class TraceEvent:
+    """One typed, simulation-timestamped trace record.
+
+    Attributes
+    ----------
+    t:
+        Simulation time of the event (seconds).
+    kind:
+        One of :data:`EVENT_KINDS`.
+    node:
+        The acting PSN, or ``None`` for network-level events.
+    link:
+        The link concerned, or ``None``.
+    value:
+        The event's scalar payload (a cost, a count, a fraction).
+    data:
+        Optional extra fields (e.g. a drop reason).
+    """
+
+    __slots__ = ("t", "kind", "node", "link", "value", "data")
+
+    def __init__(
+        self,
+        t: float,
+        kind: str,
+        node: Optional[int] = None,
+        link: Optional[int] = None,
+        value: Optional[float] = None,
+        data: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.t = t
+        self.kind = kind
+        self.node = node
+        self.link = link
+        self.value = value
+        self.data = data
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The event as a plain dict (``None`` fields omitted)."""
+        out: Dict[str, Any] = {"t": self.t, "kind": self.kind}
+        if self.node is not None:
+            out["node"] = self.node
+        if self.link is not None:
+            out["link"] = self.link
+        if self.value is not None:
+            out["value"] = self.value
+        if self.data:
+            out.update(self.data)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceEvent(t={self.t!r}, kind={self.kind!r}, "
+            f"node={self.node!r}, link={self.link!r}, value={self.value!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+class NullSink:
+    """Discards every event (overhead floor for enabled tracing)."""
+
+    def append(self, event: TraceEvent) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class RingSink:
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 262_144) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+
+    def append(self, event: TraceEvent) -> None:
+        self._ring.append(event)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._ring)
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+
+class JsonlSink:
+    """Writes one JSON object per event to ``path``.
+
+    The file is opened on construction and truncated; lines are written
+    as events arrive (buffered by the underlying file object), so a
+    crashed run still leaves a usable prefix after :meth:`flush`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle = open(self.path, "w")
+        self._dumps = json.dumps
+
+    def append(self, event: TraceEvent) -> None:
+        self._handle.write(self._dumps(event.to_dict()))
+        self._handle.write("\n")
+
+    def flush(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+# ----------------------------------------------------------------------
+# The tracer
+# ----------------------------------------------------------------------
+class Tracer:
+    """Records typed events into a sink.
+
+    Parameters
+    ----------
+    sink:
+        Where events go.  ``None`` constructs the *disabled* tracer:
+        ``enabled`` is ``False``, no sink object exists, and
+        :meth:`emit` raises if ever called (components must hold
+        ``None`` instead of a disabled tracer on their emission paths
+        -- the test suite asserts no sink is allocated for disabled
+        runs).
+    """
+
+    __slots__ = ("sink", "enabled", "events_emitted")
+
+    def __init__(self, sink: Optional[object] = None) -> None:
+        self.sink = sink
+        self.enabled = sink is not None
+        self.events_emitted = 0
+
+    def emit(
+        self,
+        t: float,
+        kind: str,
+        node: Optional[int] = None,
+        link: Optional[int] = None,
+        value: Optional[float] = None,
+        data: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one event at simulation time ``t``."""
+        self.events_emitted += 1
+        self.sink.append(TraceEvent(t, kind, node, link, value, data))
+
+    def flush(self) -> None:
+        if self.sink is not None:
+            self.sink.flush()
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()
+
+    def events(self) -> List[TraceEvent]:
+        """Retained events, for sinks that keep them (:class:`RingSink`)."""
+        if isinstance(self.sink, RingSink):
+            return self.sink.events()
+        raise TypeError(
+            f"sink {type(self.sink).__name__ if self.sink else None} "
+            f"does not retain events; use a RingSink"
+        )
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"<Tracer {state} sink={type(self.sink).__name__ if self.sink else None} "
+            f"emitted={self.events_emitted}>"
+        )
+
+
+#: The process-wide disabled tracer.  Sharing one instance makes
+#: "disabled" allocation-free: simulations built without tracing all
+#: reference this singleton and construct nothing.
+NULL_TRACER = Tracer(None)
+
+
+def build_tracer(spec: Union[None, str, Tracer]) -> Tracer:
+    """Resolve a scenario-level trace spec into a :class:`Tracer`.
+
+    * ``None`` -- tracing disabled; returns :data:`NULL_TRACER` (no
+      allocation).
+    * ``"memory"`` -- an in-memory :class:`RingSink` tracer.
+    * ``"null"`` -- an enabled tracer over a :class:`NullSink` (for
+      measuring tracing's own overhead).
+    * any other string -- treated as a file path; a :class:`JsonlSink`
+      tracer writing there (conventionally ``*.jsonl``).
+    * a :class:`Tracer` -- returned as-is (programmatic use; not
+      picklable, so :class:`~repro.sim.parallel.RunSpec` configs should
+      use string specs).
+    """
+    if spec is None:
+        return NULL_TRACER
+    if isinstance(spec, Tracer):
+        return spec
+    if spec == "memory":
+        return Tracer(RingSink())
+    if spec == "null":
+        return Tracer(NullSink())
+    if isinstance(spec, str):
+        return Tracer(JsonlSink(spec))
+    raise TypeError(
+        f"trace spec must be None, 'memory', 'null', a path or a Tracer: "
+        f"{spec!r}"
+    )
+
+
+def events_to_dicts(events: Iterable[TraceEvent]) -> List[Dict[str, Any]]:
+    """Convert events to the plain-dict form the JSONL sink writes."""
+    return [event.to_dict() for event in events]

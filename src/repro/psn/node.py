@@ -20,6 +20,16 @@ from typing import TYPE_CHECKING, Dict, Optional
 from repro.des import RandomStreams, Simulator
 from repro.metrics.base import LinkMetric
 from repro.metrics.queueing import service_time_s
+from repro.obs.profiler import PhaseProfiler, instrument_psn
+from repro.obs.tracer import (
+    SPF_BATCH_REPAIR,
+    SPF_RECOMPUTE,
+    UPDATE_ACCEPTED,
+    UPDATE_FLOODED,
+    UPDATE_GENERATED,
+    UPDATE_SUPPRESSED,
+    Tracer,
+)
 from repro.psn.flow_control import RFNM_BITS, HostInterface
 from repro.psn.interfaces import PROCESSING_DELAY_S, LinkTransmitter
 from repro.psn.measurement import DelayAverager, SignificanceCriterion
@@ -94,6 +104,17 @@ class Psn:
         repair (both are valid shortest-path trees), so this defaults
         off and scenarios enable it only at scale.  Ignored under
         multipath, whose router recomputes per update anyway.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` recording this node's
+        control-plane events (update generation, flood forwarding,
+        duplicate suppression, SPF repairs).  A disabled or absent
+        tracer costs nothing: the emission sites hold ``None`` and the
+        per-packet forwarding path is never traced at all.
+    profiler:
+        Optional :class:`~repro.obs.profiler.PhaseProfiler`; when given,
+        this node's SPF, forwarding and measurement entry points are
+        wrapped for per-phase wall-time attribution (``profile=True``
+        runs only -- wrapping changes timing, never behaviour).
     """
 
     def __init__(
@@ -111,6 +132,8 @@ class Psn:
         flow_control_window: Optional[int] = None,
         spf_cache: Optional[SpfCache] = None,
         batched_spf: bool = False,
+        tracer: Optional[Tracer] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -119,6 +142,11 @@ class Psn:
         self.transmitters = transmitters
         self.stats = stats
         self.measurement_interval_s = measurement_interval_s
+        #: None unless an *enabled* tracer was supplied: the emission
+        #: sites then pay one ``is not None`` test, nothing more.
+        self._trace: Optional[Tracer] = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
 
         # End-to-end (RFNM) flow control, if the scenario enables it.
         self.host: Optional[HostInterface] = None
@@ -166,6 +194,10 @@ class Psn:
                 network, node_id, self.costs, mode=multipath_mode,
                 slack=multipath_slack, cache=spf_cache,
             )
+        # Profiling must wrap the instance methods *before* the timer
+        # registrations below capture bound callbacks.
+        if profiler is not None:
+            instrument_psn(profiler, self)
         offset = streams.uniform(
             f"psn-{node_id}-phase", 0.0, measurement_interval_s
         )
@@ -315,6 +347,11 @@ class Psn:
         update = self.flooding.originate(link_id, cost)
         self._advertised[link_id] = cost
         self.stats.update_originated(link_id, cost, self.sim.now)
+        if self._trace is not None:
+            self._trace.emit(
+                self.sim.now, UPDATE_GENERATED,
+                node=self.node_id, link=link_id, value=cost,
+            )
         self._apply_update(update)
         self._flood(update, arrived_on=None)
 
@@ -329,7 +366,19 @@ class Psn:
         # duplicate usually means our earlier ACK was lost.
         self._send_ack(update, via)
         if not self.flooding.accept(update):
+            if self._trace is not None:
+                self._trace.emit(
+                    self.sim.now, UPDATE_SUPPRESSED,
+                    node=self.node_id, link=update.link_id,
+                    data={"origin": update.origin},
+                )
             return
+        if self._trace is not None:
+            self._trace.emit(
+                self.sim.now, UPDATE_ACCEPTED,
+                node=self.node_id, link=update.link_id, value=update.cost,
+                data={"origin": update.origin},
+            )
         self._apply_update(update)
         self._flood(update, arrived_on=via.link_id)
 
@@ -390,6 +439,11 @@ class Psn:
         if not pending:
             return
         self._pending_updates = []
+        if self._trace is not None:
+            self._trace.emit(
+                self.sim.now, SPF_BATCH_REPAIR,
+                node=self.node_id, value=len(pending),
+            )
         if self.tree.update_costs(pending):
             self._forwarding = None
 
@@ -398,6 +452,11 @@ class Psn:
         if self._pending_updates is not None:
             self._pending_updates.append((update.link_id, cost))
             return
+        if self._trace is not None:
+            self._trace.emit(
+                self.sim.now, SPF_RECOMPUTE,
+                node=self.node_id, link=update.link_id,
+            )
         if self.tree.update_cost(update.link_id, cost):
             # The compiled next-hop table reflects the old tree; drop it
             # and recompile (or re-fetch from the cache) on the next
@@ -410,8 +469,15 @@ class Psn:
             self.router.recompute()
 
     def _flood(self, update: RoutingUpdate, arrived_on: Optional[int]) -> None:
-        for link_id in self.flooding.forward_links(arrived_on):
+        links = self.flooding.forward_links(arrived_on)
+        for link_id in links:
             self._transmit_update(update, link_id)
+        if self._trace is not None:
+            self._trace.emit(
+                self.sim.now, UPDATE_FLOODED,
+                node=self.node_id, link=update.link_id, value=len(links),
+                data={"origin": update.origin},
+            )
 
     def _transmit_update(self, update: RoutingUpdate, link_id: int) -> None:
         """Send one update on one link, arming its retransmission."""

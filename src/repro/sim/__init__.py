@@ -10,10 +10,13 @@
   -- deterministic fan-out of independent runs across processes.
 """
 
+from repro.obs.telemetry import RunTelemetry, merge_telemetry
 from repro.sim.legacy_sim import BellmanFordSimulation
 from repro.sim.network_sim import NetworkSimulation, ScenarioConfig
 from repro.sim.parallel import (
+    RunFailedError,
     RunSpec,
+    combined_telemetry,
     replicate,
     replication_seeds,
     run_many,
@@ -25,11 +28,15 @@ from repro.sim.stats import SimulationReport, StatsCollector
 __all__ = [
     "BellmanFordSimulation",
     "NetworkSimulation",
+    "RunFailedError",
     "RunSpec",
+    "RunTelemetry",
     "ScenarioConfig",
     "SimulationReport",
     "StatsCollector",
     "build_scenario",
+    "combined_telemetry",
+    "merge_telemetry",
     "replicate",
     "replication_seeds",
     "run_many",

@@ -23,11 +23,16 @@ True
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.des import RandomStreams, Simulator
 from repro.metrics.base import LinkMetric
+from repro.obs import runtime as obs_runtime
+from repro.obs.profiler import PhaseProfiler, instrument_stats
+from repro.obs.telemetry import RunTelemetry
+from repro.obs.tracer import CIRCUIT_FAIL, CIRCUIT_RESTORE, Tracer, build_tracer
 from repro.psn.interfaces import DEFAULT_BUFFER_PACKETS, LinkTransmitter
 from repro.psn.node import Psn
 from repro.psn.packet import Packet, PacketKind
@@ -87,6 +92,25 @@ class ScenarioConfig:
     #: per-update repair (both are valid shortest paths), so paper-sized
     #: golden scenarios keep the per-update path.
     batched_spf: Optional[bool] = None
+    #: Structured event tracing (see :mod:`repro.obs`): ``None`` (off --
+    #: the zero-overhead default, no sink is even allocated), ``"memory"``
+    #: (in-memory ring), ``"null"`` (enabled, events discarded), a file
+    #: path (JSONL), or a pre-built :class:`~repro.obs.tracer.Tracer`
+    #: (not picklable -- use string specs inside a
+    #: :class:`~repro.sim.parallel.RunSpec`).  Tracing never alters
+    #: behaviour: traced runs stay bit-identical to untraced ones.
+    trace: Optional[object] = None
+    #: Per-phase wall-time attribution (scheduling / SPF / forwarding /
+    #: measurement / stats), reported in the run telemetry's
+    #: ``phase_wall_s``.  Off by default: profiling wraps the hot
+    #: methods and costs real wall time (behaviour is unchanged).
+    profile: bool = False
+    #: Compute the report's ``updates_per_trunk_s`` over the post-warmup
+    #: window only, excluding the boot flood.  Default off (the
+    #: historical whole-run average).  Enabling schedules one extra
+    #: bookkeeping event at ``warmup_s``; it observes counters without
+    #: touching simulation state, so the trajectory is unchanged.
+    post_warmup_update_rates: bool = False
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -128,7 +152,27 @@ class NetworkSimulation:
 
         self.sim = Simulator(scheduler=self.config.scheduler)
         self.streams = RandomStreams(self.config.seed)
-        self.stats = StatsCollector(network, warmup_s=self.config.warmup_s)
+        #: The run's tracer.  With tracing off this is the shared
+        #: NULL_TRACER singleton: nothing is allocated, and components
+        #: receive (and discard) it without arming any emission site.
+        trace_spec = self.config.trace
+        if trace_spec is None:
+            trace_spec = obs_runtime.next_trace_spec()
+        self.tracer: Tracer = build_tracer(trace_spec)
+        #: Present only under ``profile=True``.
+        self.profiler: Optional[PhaseProfiler] = (
+            PhaseProfiler() if self.config.profile else None
+        )
+        #: Accumulated wall seconds inside :meth:`run`.
+        self._wall_s = 0.0
+        self.stats = StatsCollector(
+            network,
+            warmup_s=self.config.warmup_s,
+            tracer=self.tracer,
+            post_warmup_update_rates=self.config.post_warmup_update_rates,
+        )
+        if self.profiler is not None:
+            instrument_stats(self.profiler, self.stats)
         #: One SPF cache for the whole network (None = disabled).
         self.spf_cache: Optional[SpfCache] = (
             SpfCache(network) if self.config.spf_cache else None
@@ -169,6 +213,8 @@ class NetworkSimulation:
                 flow_control_window=self.config.flow_control_window,
                 spf_cache=self.spf_cache,
                 batched_spf=batched_spf,
+                tracer=self.tracer,
+                profiler=self.profiler,
             )
             for node in network
         }
@@ -185,6 +231,14 @@ class NetworkSimulation:
             emit=self._emit,
             mean_packet_bits=self.config.mean_packet_bits,
         )
+        #: Update transmissions on the wire at the warmup boundary
+        #: (captured only under ``post_warmup_update_rates``; the
+        #: snapshot callback reads counters and cannot perturb the run).
+        self._warmup_update_transmissions = 0
+        if self.config.post_warmup_update_rates and self.config.warmup_s > 0:
+            self.sim.call_in(
+                self.config.warmup_s, self._snapshot_warmup_updates
+            )
 
     # ------------------------------------------------------------------
     # Wiring callbacks
@@ -198,6 +252,11 @@ class NetworkSimulation:
 
     def _emit(self, src: int, dst: int, size_bits: float) -> None:
         self.psns[src].inject(src, dst, size_bits)
+
+    def _snapshot_warmup_updates(self) -> None:
+        self._warmup_update_transmissions = sum(
+            t.update_packets_sent for t in self.transmitters.values()
+        )
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -213,11 +272,15 @@ class NetworkSimulation:
                          self._restore_circuit, link_id)
 
     def _fail_circuit(self, link_id: int) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, CIRCUIT_FAIL, link=link_id)
         affected = self.network.set_circuit_state(link_id, up=False)
         for link in affected:
             self.psns[link.src].local_link_down(link.link_id)
 
     def _restore_circuit(self, link_id: int) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, CIRCUIT_RESTORE, link=link_id)
         affected = self.network.set_circuit_state(link_id, up=True)
         for link in affected:
             self.psns[link.src].local_link_up(link.link_id)
@@ -229,9 +292,12 @@ class NetworkSimulation:
         """Run to ``until_s`` (default: the configured duration).
 
         Can be called repeatedly with increasing times; the report always
-        covers everything after the warmup.
+        covers everything after the warmup.  Every report carries the
+        run's :class:`~repro.obs.telemetry.RunTelemetry` as its
+        ``telemetry`` attribute (cumulative over repeated calls).
         """
         horizon = until_s if until_s is not None else self.config.duration_s
+        started = time.perf_counter()
         self.sim.run(until=horizon)
         # Batched-SPF nodes may end the run with routing updates still
         # buffered (received, but never needed for a forwarding decision
@@ -239,10 +305,31 @@ class NetworkSimulation:
         # update, exactly as the per-update path would.
         for psn in self.psns.values():
             psn.flush_pending_updates()
+        self._wall_s += time.perf_counter() - started
         update_transmissions = sum(
             t.update_packets_sent for t in self.transmitters.values()
         )
-        return self.stats.report(
+        if self.config.post_warmup_update_rates:
+            update_transmissions -= self._warmup_update_transmissions
+        report = self.stats.report(
             self.metric.name, horizon,
             update_transmissions=update_transmissions,
+        )
+        report.telemetry = self.telemetry()
+        obs_runtime.record_telemetry(report.telemetry)
+        if self.tracer.enabled:
+            self.tracer.flush()
+        return report
+
+    def telemetry(self) -> RunTelemetry:
+        """This run's counter block, harvested from live subsystems.
+
+        An O(nodes + links) sweep over counters the subsystems keep
+        anyway -- calling it never perturbs the simulation.
+        """
+        phase_wall_s = None
+        if self.profiler is not None:
+            phase_wall_s = self.profiler.breakdown(self._wall_s)
+        return RunTelemetry.collect(
+            self, wall_s=self._wall_s, phase_wall_s=phase_wall_s
         )

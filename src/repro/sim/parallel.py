@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 from repro.des.random_streams import RandomStreams
+from repro.obs.telemetry import RunTelemetry, merge_telemetry
 from repro.sim.network_sim import ScenarioConfig
 from repro.sim.scenarios import build_scenario
 from repro.sim.stats import SimulationReport
@@ -49,10 +50,49 @@ class RunSpec:
         return RunSpec(self.scenario, replace(self.config, seed=seed))
 
 
+class RunFailedError(RuntimeError):
+    """One :class:`RunSpec` failed; says *which* one.
+
+    A bare pool traceback names the exception but not the run, which for
+    a 100-replication sweep is useless -- the whole point of
+    deterministic specs is that the failing run can be replayed alone.
+    This wrapper carries the scenario name and seed so the message is a
+    reproduction recipe, and it survives the trip back from a worker
+    process (``__reduce__`` below: exceptions raised in a pool are
+    pickled to the parent, and the default reduction would drop our
+    extra constructor arguments).
+    """
+
+    def __init__(self, scenario: str, seed: int, cause: str) -> None:
+        super().__init__(
+            f"run failed: scenario={scenario!r} seed={seed} -- {cause}; "
+            f"replay with run_spec(RunSpec({scenario!r}, "
+            f"ScenarioConfig(seed={seed})))"
+        )
+        self.scenario = scenario
+        self.seed = seed
+        self.cause = cause
+
+    def __reduce__(self):
+        return (RunFailedError, (self.scenario, self.seed, self.cause))
+
+
 def run_spec(spec: RunSpec) -> SimulationReport:
-    """Build and run one spec to completion (the worker-side function)."""
-    simulation = build_scenario(spec.scenario, config=spec.config)
-    return simulation.run()
+    """Build and run one spec to completion (the worker-side function).
+
+    Any failure is re-raised as :class:`RunFailedError` identifying the
+    spec, chained to the original exception (serial path) or carrying
+    its rendered form (pool path, where chaining doesn't pickle).
+    """
+    try:
+        simulation = build_scenario(spec.scenario, config=spec.config)
+        return simulation.run()
+    except Exception as exc:
+        raise RunFailedError(
+            spec.scenario,
+            spec.config.seed,
+            f"{type(exc).__name__}: {exc}",
+        ) from exc
 
 
 def replication_seeds(master_seed: int, count: int) -> List[int]:
@@ -112,3 +152,19 @@ def run_many(
     chunksize = max(1, len(specs) // (processes * 4))
     with ProcessPoolExecutor(max_workers=processes) as pool:
         return list(pool.map(run_spec, specs, chunksize=chunksize))
+
+
+def combined_telemetry(
+    reports: Sequence[SimulationReport],
+) -> Optional[RunTelemetry]:
+    """Merge the telemetry blocks of a batch of reports into one.
+
+    Reports travel back from workers with their ``telemetry`` attribute
+    intact (it rides the instance ``__dict__`` through pickling), so a
+    :func:`run_many` batch reduces to a single fleet-wide counter block:
+    ``runs`` counts the replications, every other field sums.  Returns
+    ``None`` when no report carried telemetry.
+    """
+    return merge_telemetry(
+        [getattr(report, "telemetry", None) for report in reports]
+    )

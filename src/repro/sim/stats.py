@@ -13,6 +13,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.tracer import COST_CHANGE, PACKET_DROP, UTILIZATION, Tracer
 from repro.psn.packet import Packet
 from repro.routing.spf import CostTable, SpfTree
 from repro.topology.graph import Network
@@ -20,7 +21,16 @@ from repro.topology.graph import Network
 
 @dataclass
 class SimulationReport:
-    """Summary indicators of one run (the Table-1 row set)."""
+    """Summary indicators of one run (the Table-1 row set).
+
+    Besides the dataclass fields, every report carries a ``telemetry``
+    attribute: the :class:`~repro.obs.telemetry.RunTelemetry` counter
+    block of the producing run, or ``None`` for reports built directly
+    from a collector.  It is deliberately *not* a dataclass field --
+    ``dataclasses.asdict`` (and therefore the golden snapshots, which
+    pin the report bit-for-bit) sees only the behavioural indicators,
+    never the observability side-channel.
+    """
 
     metric_name: str
     duration_s: float
@@ -33,7 +43,8 @@ class SimulationReport:
     updates_per_s: float
     #: Routing-update transmissions per trunk per second (flooding puts
     #: each update on every link; Table 1's "Rtg. Updates per Trunk/sec").
-    #: Averaged over the whole run, warmup included.
+    #: Averaged over the whole run, warmup included, unless the run used
+    #: ``post_warmup_update_rates=True`` (then post-warmup only).
     updates_per_trunk_s: float
     #: Mean seconds between updates per node.
     update_period_per_node_s: float
@@ -53,6 +64,11 @@ class SimulationReport:
     delay_p50_ms: float = 0.0
     delay_p90_ms: float = 0.0
     delay_p99_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Attached by NetworkSimulation.run(); see the class docstring
+        # for why this is an attribute and not a field.
+        self.telemetry = None
 
     @property
     def path_ratio(self) -> float:
@@ -79,11 +95,34 @@ class StatsCollector:
     warmup_s:
         Events before this simulation time are ignored in summaries
         (route tables and filters need time to settle).
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; when enabled, the
+        collector also emits drop, cost-change and utilization trace
+        events as they are recorded.  Disabled or absent tracers cost
+        nothing (the emission sites hold ``None``).
+    post_warmup_update_rates:
+        Compute ``updates_per_trunk_s`` over the post-warmup window
+        only, from the post-warmup transmission count the simulation
+        supplies.  Default off: the historical indicator averages the
+        whole run, warmup (and its boot flood) included, which skews
+        Table-1 comparisons -- see ``docs/observability.md``.
     """
 
-    def __init__(self, network: Network, warmup_s: float = 0.0) -> None:
+    def __init__(
+        self,
+        network: Network,
+        warmup_s: float = 0.0,
+        tracer: Optional[Tracer] = None,
+        post_warmup_update_rates: bool = False,
+    ) -> None:
         self.network = network
         self.warmup_s = warmup_s
+        self.post_warmup_update_rates = post_warmup_update_rates
+        #: None when tracing is disabled, so emission sites pay one
+        #: ``is not None`` test and nothing else.
+        self._trace: Optional[Tracer] = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
         self.delivered = 0
         self.offered = 0
         self.delay_sum_s = 0.0
@@ -143,6 +182,11 @@ class StatsCollector:
         self.min_hops_sum += min_hops
 
     def packet_dropped(self, packet: Packet, reason: str, now: float) -> None:
+        if self._trace is not None:
+            self._trace.emit(
+                now, PACKET_DROP, node=packet.src,
+                data={"reason": reason, "dst": packet.dst},
+            )
         if now < self.warmup_s:
             return
         self._note_time(now)
@@ -158,6 +202,8 @@ class StatsCollector:
     def update_originated(self, link_id: int, cost: int, now: float) -> None:
         self._note_time(now)
         self.cost_history.append((now, link_id, cost))
+        if self._trace is not None:
+            self._trace.emit(now, COST_CHANGE, link=link_id, value=cost)
         if now >= self.warmup_s:
             self.updates_originated += 1
 
@@ -165,6 +211,8 @@ class StatsCollector:
         self, link_id: int, value: float, now: float
     ) -> None:
         self.utilization_history[link_id].append((now, value))
+        if self._trace is not None:
+            self._trace.emit(now, UTILIZATION, link=link_id, value=value)
 
     def _sample_delay(self, delay_s: float) -> None:
         """Reservoir sampling (Vitter's algorithm R) of delays."""
@@ -215,9 +263,12 @@ class StatsCollector:
     ) -> SimulationReport:
         """Summarize the run over its post-warmup window.
 
-        ``update_transmissions`` is the total count of routing-update
-        packets put on the wire (supplied by the simulation, which owns
-        the transmitters).
+        ``update_transmissions`` is the count of routing-update packets
+        put on the wire (supplied by the simulation, which owns the
+        transmitters): the whole-run total normally, or the post-warmup
+        count when the collector was built with
+        ``post_warmup_update_rates=True`` (the rate then divides by the
+        post-warmup window instead of the full duration).
         """
         window_s = max(duration_s - self.warmup_s, 1e-9)
         mean_delay_s = (
@@ -228,6 +279,9 @@ class StatsCollector:
         per_node_rate = updates_per_s / node_count
         update_period = (1.0 / per_node_rate) if per_node_rate > 0 else 0.0
         trunk_count = max(len(self.network.links), 1)
+        update_rate_window_s = (
+            window_s if self.post_warmup_update_rates else duration_s
+        )
         return SimulationReport(
             metric_name=metric_name,
             duration_s=window_s,
@@ -235,7 +289,7 @@ class StatsCollector:
             round_trip_delay_ms=2.0 * mean_delay_s * 1000.0,
             updates_per_s=updates_per_s,
             updates_per_trunk_s=(
-                update_transmissions / trunk_count / duration_s
+                update_transmissions / trunk_count / update_rate_window_s
             ),
             update_period_per_node_s=update_period,
             actual_path_hops=(

@@ -1,0 +1,92 @@
+"""Tests for per-phase wall-time attribution (:mod:`repro.obs.profiler`)."""
+
+import pytest
+
+from repro.obs.profiler import (
+    PHASE_FORWARDING,
+    PHASE_SCHEDULING,
+    PHASE_SPF,
+    PhaseProfiler,
+)
+from repro.sim import ScenarioConfig, build_scenario
+
+
+class FakeClock:
+    """Deterministic perf_counter stand-in: advances 1s per read."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+def test_wrap_books_time_and_preserves_result():
+    profiler = PhaseProfiler()
+    profiler._clock = FakeClock()
+    timed = profiler.wrap(PHASE_SPF, lambda x: x * 2)
+    assert timed(21) == 42
+    assert timed.__wrapped__(21) == 42
+    assert profiler.phase_s[PHASE_SPF] > 0
+
+
+def test_wrap_books_time_even_on_exception():
+    profiler = PhaseProfiler()
+    profiler._clock = FakeClock()
+
+    def boom():
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        profiler.wrap(PHASE_SPF, boom)()
+    assert profiler.phase_s[PHASE_SPF] > 0
+    assert profiler._stack == []  # unwound cleanly
+
+
+def test_nested_phases_attribute_exclusively():
+    profiler = PhaseProfiler()
+    clock = profiler._clock = FakeClock()
+
+    inner = profiler.wrap(PHASE_SPF, lambda: None)
+    outer = profiler.wrap(PHASE_FORWARDING, lambda: inner())
+    outer()
+    # Inner time lands under spf, never double-booked under forwarding.
+    assert profiler.phase_s[PHASE_SPF] > 0
+    assert profiler.phase_s[PHASE_FORWARDING] > 0
+    assert sum(profiler.phase_s.values()) <= clock.now
+
+
+def test_breakdown_adds_scheduling_residual():
+    profiler = PhaseProfiler()
+    profiler.phase_s = {PHASE_SPF: 0.3, PHASE_FORWARDING: 0.2}
+    breakdown = profiler.breakdown(1.0)
+    assert breakdown[PHASE_SCHEDULING] == pytest.approx(0.5)
+    # Clamped at zero if clocks disagree (attribution > total).
+    assert profiler.breakdown(0.1)[PHASE_SCHEDULING] == 0.0
+
+
+def test_profiled_run_attributes_phases_without_changing_results():
+    base = ScenarioConfig(duration_s=20.0, warmup_s=0.0)
+    profiled = ScenarioConfig(duration_s=20.0, warmup_s=0.0, profile=True)
+    plain_sim = build_scenario("two-region-dspf", config=base)
+    plain_report = plain_sim.run()
+    profiled_sim = build_scenario("two-region-dspf", config=profiled)
+    profiled_report = profiled_sim.run()
+
+    phases = profiled_report.telemetry.phase_wall_s
+    assert PHASE_SCHEDULING in phases
+    assert phases[PHASE_FORWARDING] > 0
+    assert phases[PHASE_SPF] > 0
+    assert sum(phases.values()) == pytest.approx(
+        profiled_report.telemetry.wall_s, abs=1e-6
+    )
+    # Profiling changes timing only, never behaviour.
+    assert profiled_report.delivered_packets == plain_report.delivered_packets
+    assert profiled_sim.stats.cost_history == plain_sim.stats.cost_history
+
+
+def test_unprofiled_run_reports_no_phases():
+    config = ScenarioConfig(duration_s=10.0, warmup_s=0.0)
+    report = build_scenario("two-region-dspf", config=config).run()
+    assert report.telemetry.phase_wall_s == {}

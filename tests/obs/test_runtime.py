@@ -1,0 +1,60 @@
+"""Tests for the process-global observability defaults."""
+
+import pytest
+
+from repro.obs import runtime as obs_runtime
+from repro.obs.telemetry import RunTelemetry
+from repro.report import read_trace
+from repro.sim import ScenarioConfig, build_scenario
+
+_QUICK = ScenarioConfig(duration_s=10.0, warmup_s=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    obs_runtime.reset()
+    yield
+    obs_runtime.reset()
+
+
+def test_defaults_are_off():
+    assert obs_runtime.next_trace_spec() is None
+    obs_runtime.record_telemetry(RunTelemetry())
+    assert obs_runtime.drain_telemetry() == []
+
+
+def test_trace_dir_numbers_files_in_construction_order(tmp_path):
+    obs_runtime.enable_trace_dir(str(tmp_path))
+    first = obs_runtime.next_trace_spec()
+    second = obs_runtime.next_trace_spec()
+    assert first.endswith("trace-0001.jsonl")
+    assert second.endswith("trace-0002.jsonl")
+
+
+def test_simulations_pick_up_the_trace_dir(tmp_path):
+    obs_runtime.enable_trace_dir(str(tmp_path))
+    simulation = build_scenario("two-region-dspf", config=_QUICK)
+    simulation.run()
+    traces = sorted(tmp_path.glob("trace-*.jsonl"))
+    assert len(traces) == 1
+    events = read_trace(str(traces[0]))
+    assert events
+    assert len(events) == simulation.tracer.events_emitted
+
+
+def test_explicit_config_beats_the_global_default(tmp_path):
+    obs_runtime.enable_trace_dir(str(tmp_path / "globals"))
+    explicit = str(tmp_path / "explicit.jsonl")
+    config = ScenarioConfig(duration_s=5.0, warmup_s=0.0, trace=explicit)
+    simulation = build_scenario("two-region-dspf", config=config)
+    assert simulation.tracer.sink.path == explicit
+
+
+def test_telemetry_registry_collects_and_drains():
+    obs_runtime.enable_telemetry_registry()
+    build_scenario("two-region-dspf", config=_QUICK).run()
+    build_scenario("two-region-dspf", config=_QUICK).run()
+    drained = obs_runtime.drain_telemetry()
+    assert len(drained) == 2
+    assert all(block.events_processed > 0 for block in drained)
+    assert obs_runtime.drain_telemetry() == []

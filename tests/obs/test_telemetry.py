@@ -1,0 +1,92 @@
+"""Tests for hot-path counter aggregation (:mod:`repro.obs.telemetry`)."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.obs.telemetry import RunTelemetry, merge_telemetry
+from repro.sim import ScenarioConfig, build_scenario
+
+_QUICK = ScenarioConfig(duration_s=20.0, warmup_s=0.0)
+
+
+def _block(**overrides) -> RunTelemetry:
+    telemetry = RunTelemetry(
+        events_processed=100, events_heap=100, spf_full_computations=2,
+        flood_generated=5, cache_table_hits=3, cache_table_misses=1,
+        wall_s=0.5, phase_wall_s={"spf": 0.2, "scheduling": 0.3},
+    )
+    for name, value in overrides.items():
+        setattr(telemetry, name, value)
+    return telemetry
+
+
+def test_merge_sums_every_field():
+    a = _block()
+    b = _block(events_processed=50, phase_wall_s={"spf": 0.1})
+    merged = a.merge(b)
+    assert merged.runs == 2
+    assert merged.events_processed == 150
+    assert merged.spf_full_computations == 4
+    assert merged.wall_s == 1.0
+    assert merged.phase_wall_s == pytest.approx(
+        {"spf": 0.3, "scheduling": 0.3}
+    )
+    # Inputs untouched.
+    assert a.events_processed == 100 and b.events_processed == 50
+
+
+def test_merge_is_associative_and_commutative():
+    a = _block(events_processed=1)
+    b = _block(events_processed=10, phase_wall_s={"forwarding": 0.1})
+    c = _block(events_processed=100, phase_wall_s={})
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left.to_dict() == right.to_dict()
+    assert a.merge(b).to_dict() == b.merge(a).to_dict()
+
+
+def test_merge_telemetry_reducer_skips_none():
+    assert merge_telemetry([]) is None
+    assert merge_telemetry([None, None]) is None
+    a, b = _block(), _block(events_processed=1)
+    merged = merge_telemetry([None, a, None, b])
+    assert merged.runs == 2
+    assert merged.events_processed == 101
+
+
+def test_cache_hit_rate():
+    assert _block().cache_hit_rate == 0.75
+    assert math.isnan(RunTelemetry().cache_hit_rate)
+
+
+def test_to_dict_covers_all_fields():
+    field_names = {f.name for f in dataclasses.fields(RunTelemetry)}
+    assert set(_block().to_dict()) == field_names
+
+
+def test_collect_harvests_a_run():
+    simulation = build_scenario("two-region-dspf", config=_QUICK)
+    report = simulation.run()
+    telemetry = simulation.telemetry()
+    assert telemetry.runs == 1
+    assert telemetry.events_processed > 0
+    # Per-backend splits partition the total.
+    assert telemetry.events_heap + telemetry.events_calendar == \
+        telemetry.events_processed
+    assert telemetry.spf_full_computations >= len(simulation.psns)
+    assert telemetry.flood_generated > 0
+    assert telemetry.data_packets_sent > 0
+    assert telemetry.trace_events == 0  # tracing was off
+    # run() attached an equal harvest to its report.
+    assert report.telemetry is not None
+    assert report.telemetry.events_processed == telemetry.events_processed
+
+
+def test_report_asdict_excludes_telemetry():
+    """The golden snapshots must never see the observability side-channel."""
+    simulation = build_scenario("two-region-dspf", config=_QUICK)
+    report = simulation.run()
+    assert report.telemetry is not None
+    assert "telemetry" not in dataclasses.asdict(report)

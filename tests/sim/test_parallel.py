@@ -6,12 +6,15 @@ pool -- serial and parallel execution of the same specs are identical
 """
 
 import dataclasses
+import pickle
 
 import pytest
 
 from repro.sim import (
+    RunFailedError,
     RunSpec,
     ScenarioConfig,
+    combined_telemetry,
     replicate,
     replication_seeds,
     run_many,
@@ -57,6 +60,74 @@ def test_run_many_rejects_nonpositive_processes():
 
 def test_run_many_empty_is_empty():
     assert run_many([]) == []
+
+
+def test_run_spec_failure_identifies_the_run():
+    spec = RunSpec("no-such-scenario", ScenarioConfig(seed=99))
+    with pytest.raises(RunFailedError) as excinfo:
+        run_spec(spec)
+    error = excinfo.value
+    assert error.scenario == "no-such-scenario"
+    assert error.seed == 99
+    assert "no-such-scenario" in str(error)
+    assert "seed=99" in str(error)
+    # The serial path chains the original exception.
+    assert isinstance(error.__cause__, KeyError)
+
+
+def test_run_failed_error_survives_pickling():
+    """Pool workers send exceptions back pickled; the spec must survive."""
+    error = RunFailedError("aug87", 7, "ValueError: boom")
+    clone = pickle.loads(pickle.dumps(error))
+    assert isinstance(clone, RunFailedError)
+    assert (clone.scenario, clone.seed, clone.cause) == \
+        (error.scenario, error.seed, error.cause)
+    assert str(clone) == str(error)
+
+
+def test_run_many_serial_surfaces_the_failing_spec():
+    specs = [
+        RunSpec("two-region-hnspf", _QUICK),
+        RunSpec("no-such-scenario", ScenarioConfig(seed=5)),
+    ]
+    with pytest.raises(RunFailedError) as excinfo:
+        run_many(specs, processes=1)
+    assert excinfo.value.scenario == "no-such-scenario"
+    assert excinfo.value.seed == 5
+
+
+def test_combined_telemetry_reduces_a_batch():
+    specs = replicate(RunSpec("two-region-hnspf", _QUICK),
+                      master_seed=11, count=2)
+    reports = run_many(specs, processes=1)
+    merged = combined_telemetry(reports)
+    assert merged.runs == 2
+    assert merged.events_processed == sum(
+        report.telemetry.events_processed for report in reports
+    )
+    assert combined_telemetry([]) is None
+
+
+@pytest.mark.slow
+def test_run_many_pool_surfaces_the_failing_spec():
+    specs = [
+        RunSpec("two-region-hnspf", _QUICK),
+        RunSpec("no-such-scenario", ScenarioConfig(seed=5)),
+        RunSpec("two-region-hnspf", _QUICK),
+    ]
+    with pytest.raises(RunFailedError) as excinfo:
+        run_many(specs, processes=2)
+    assert excinfo.value.scenario == "no-such-scenario"
+    assert excinfo.value.seed == 5
+
+
+@pytest.mark.slow
+def test_reports_carry_telemetry_across_process_boundaries():
+    specs = replicate(RunSpec("two-region-hnspf", _QUICK),
+                      master_seed=3, count=2)
+    reports = run_many(specs, processes=2)
+    assert all(report.telemetry is not None for report in reports)
+    assert combined_telemetry(reports).runs == 2
 
 
 @pytest.mark.slow

@@ -109,3 +109,47 @@ def test_empty_report_has_no_nans_where_counts_exist(net):
     assert math.isnan(report.delivery_ratio)
     assert math.isnan(report.path_ratio)
     assert report.round_trip_delay_ms == 0.0
+
+
+def test_delay_percentiles_with_zero_delivered_packets(net):
+    stats = StatsCollector(net)
+    stats.packet_offered(10.0)  # offered but never delivered
+    report = stats.report("empty", 100.0)
+    assert report.delay_p50_ms == 0.0
+    assert report.delay_p90_ms == 0.0
+    assert report.delay_p99_ms == 0.0
+    assert stats.delay_percentile_ms(1.0) == 0.0
+    with pytest.raises(ValueError):
+        stats.delay_percentile_ms(1.5)
+
+
+def test_path_ratio_with_zero_minimum_hops(net):
+    # Self-addressed delivery: zero minimum hops must not divide.
+    stats = StatsCollector(net)
+    stats.packet_delivered(packet(0, 0, trail=[9]), 11.0)
+    report = stats.report("test", 100.0)
+    assert report.minimum_path_hops == 0.0
+    assert report.actual_path_hops == 1.0
+    assert math.isnan(report.path_ratio)
+
+
+def test_update_trunk_rate_averages_whole_run_by_default(net):
+    stats = StatsCollector(net, warmup_s=50.0)
+    trunks = len(net.links)
+    report = stats.report(
+        "test", 150.0, update_transmissions=150 * trunks
+    )
+    # transmissions / trunks / the full 150 s, warmup included.
+    assert report.updates_per_trunk_s == pytest.approx(1.0)
+
+
+def test_update_trunk_rate_post_warmup_cut(net):
+    stats = StatsCollector(net, warmup_s=50.0,
+                           post_warmup_update_rates=True)
+    trunks = len(net.links)
+    # The caller supplies the post-warmup transmission count; the rate
+    # divides by the post-warmup window (100 s), not the duration.
+    report = stats.report(
+        "test", 150.0, update_transmissions=100 * trunks
+    )
+    assert report.updates_per_trunk_s == pytest.approx(1.0)

@@ -53,6 +53,37 @@ def test_simulate_command(capsys, tmp_path):
     assert csv_path.exists()
 
 
+def test_simulate_with_observability_flags(capsys, tmp_path):
+    trace_path = tmp_path / "run.jsonl"
+    assert main([
+        "simulate", "--scenario", "two-region-dspf",
+        "--duration", "20", "--trace", str(trace_path),
+        "--telemetry", "--profile",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "run telemetry" in out
+    assert "events_processed" in out
+    assert "wall [scheduling] (s)" in out
+    assert trace_path.exists()
+
+    from repro.report import cost_timeseries, read_trace
+
+    events = read_trace(str(trace_path))
+    assert events
+    assert cost_timeseries(events)
+
+
+def test_experiments_runner_observability_flags(capsys, tmp_path):
+    from repro.experiments.__main__ import main as experiments_main
+
+    trace_dir = tmp_path / "traces"
+    assert experiments_main([
+        "fig1", "--fast", "--trace", str(trace_dir), "--telemetry",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "merged telemetry" in out or "no in-process runs" in out
+
+
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
