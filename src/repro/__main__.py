@@ -12,6 +12,9 @@ Examples::
     python -m repro topology arpanet
     python -m repro simulate --topology arpanet --metric hnspf \\
         --traffic-kbps 366 --duration 300
+    python -m repro simulate --scenario two-region-hnspf \\
+        --faults examples/faultplans/stochastic-flap.json \\
+        --check-invariants --resilience-summary
     python -m repro experiment table1 --fast
     python -m repro fluid --metric dspf --scale 1.0 --rounds 40
 """
@@ -59,6 +62,11 @@ def cmd_simulate(args) -> int:
     from repro.sim import NetworkSimulation, ScenarioConfig, build_scenario
     from repro.traffic import TrafficMatrix
 
+    faults = None
+    if args.faults:
+        from repro.faults import load_fault_plan
+
+        faults = load_fault_plan(args.faults)
     config = ScenarioConfig(
         duration_s=args.duration,
         warmup_s=min(args.duration / 4.0, 60.0),
@@ -66,6 +74,8 @@ def cmd_simulate(args) -> int:
         multipath=args.multipath,
         trace=args.trace,
         profile=args.profile,
+        faults=faults,
+        check_invariants=args.check_invariants,
     )
     if args.scenario:
         simulation = build_scenario(args.scenario, config=config)
@@ -107,6 +117,25 @@ def cmd_simulate(args) -> int:
     if args.telemetry or args.profile:
         print()
         print(_telemetry_table(report.telemetry))
+    if args.resilience_summary:
+        import json as _json
+
+        if report.resilience is None:
+            print("\nno resilience summary: run had no fault plan "
+                  "(--faults PLAN.json)")
+        else:
+            print("\nresilience summary:")
+            print(_json.dumps(report.resilience, indent=2))
+    if args.check_invariants:
+        violations = report.invariant_violations or []
+        if violations:
+            print(f"\n{len(violations)} invariant violation(s):",
+                  file=sys.stderr)
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            return 1
+        print("\ninvariants: all checks passed "
+              f"({simulation.invariant_monitor.checks_run} periods)")
     return 0
 
 
@@ -218,6 +247,16 @@ def main(argv: Optional[list] = None) -> int:
     p_simulate.add_argument("--profile", action="store_true",
                             help="attribute wall time per simulation "
                                  "phase (implies --telemetry output)")
+    p_simulate.add_argument("--faults", default=None, metavar="PLAN.json",
+                            help="inject a declarative fault plan "
+                                 "(see docs/robustness.md)")
+    p_simulate.add_argument("--check-invariants", action="store_true",
+                            help="verify the paper's metric invariants "
+                                 "each routing period; exit 1 on any "
+                                 "violation")
+    p_simulate.add_argument("--resilience-summary", action="store_true",
+                            help="print per-fault reconvergence/delivery "
+                                 "JSON (needs --faults)")
     p_simulate.set_defaults(handler=cmd_simulate)
 
     p_experiment = commands.add_parser(

@@ -1,0 +1,37 @@
+"""Fault injection and resilience verification.
+
+``repro.faults`` turns line up/down behavior from a hand-scripted
+scenario into a studied workload: declarative fault schedules
+(:class:`FaultPlan`), a compiler onto the simulator
+(:class:`FaultInjector`), and a runtime checker of the paper's metric
+guarantees (:class:`InvariantMonitor`).  Attach both through
+``ScenarioConfig(faults=..., check_invariants=...)``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    INVARIANTS,
+    InvariantMonitor,
+    InvariantViolation,
+    InvariantViolationError,
+)
+from repro.faults.plan import (
+    ACTIONS,
+    FaultEvent,
+    FaultPlan,
+    LinkFlap,
+    load_fault_plan,
+)
+
+__all__ = [
+    "ACTIONS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "INVARIANTS",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "InvariantViolationError",
+    "LinkFlap",
+    "load_fault_plan",
+]

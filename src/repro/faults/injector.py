@@ -1,0 +1,182 @@
+"""Compiles a :class:`~repro.faults.plan.FaultPlan` onto a simulation.
+
+The injector is constructed with a built (not yet run)
+:class:`~repro.sim.network_sim.NetworkSimulation` and schedules every
+scripted event and stochastic flap through the simulator's event queue,
+bottoming out in the simulation's existing circuit machinery
+(``_fail_circuit`` / ``_restore_circuit``) so faults interact with
+routing exactly as the hand-scripted ``fail_circuit_at`` calls always
+have.
+
+Determinism: scripted events fire at fixed times; flap inter-event
+times are drawn *at fire time* from a dedicated per-link random stream
+(``fault-flap-<link_id>``), so each flapping circuit's trajectory
+depends only on the master seed and its own link id -- never on other
+traffic, other flaps, or scheduler backend.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.faults.plan import FaultEvent, FaultPlan, LinkFlap
+from repro.obs.tracer import (
+    PARTITION,
+    PARTITION_HEAL,
+    PSN_CRASH,
+    PSN_RESTART,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a faults <-> sim import cycle
+    from repro.sim.network_sim import NetworkSimulation
+
+
+class FaultInjector:
+    """Schedules one plan's faults into one simulation run."""
+
+    def __init__(self, simulation: "NetworkSimulation", plan: FaultPlan) -> None:
+        self.simulation = simulation
+        self.plan = plan
+        self._validate(plan)
+        #: Circuit transitions actually performed (fail + restore).
+        self.faults_injected = 0
+        self.restores_injected = 0
+        #: Up->down->up cycles completed by stochastic flaps.
+        self.flap_transitions = 0
+        #: Every applied transition, in order: (t_s, "fail"|"restore",
+        #: link_id).  The resilience summary walks this list.
+        self.applied: List[tuple] = []
+        sim = simulation.sim
+        for event in plan.events:
+            sim.call_in(max(event.at_s - sim.now, 0.0), self._fire, event)
+        for flap in plan.flaps:
+            self._arm_flap(flap)
+
+    def _validate(self, plan: FaultPlan) -> None:
+        network = self.simulation.network
+        links = len(network.links)
+        for event in plan.events:
+            if event.link_id is not None and not 0 <= event.link_id < links:
+                raise ValueError(f"no such link {event.link_id}: {event}")
+            if event.node_id is not None and event.node_id not in network.nodes:
+                raise ValueError(f"no such node {event.node_id}: {event}")
+            for node in event.nodes:
+                if node not in network.nodes:
+                    raise ValueError(f"no such node {node}: {event}")
+        seen_circuits = {}
+        for flap in plan.flaps:
+            if not 0 <= flap.link_id < links:
+                raise ValueError(f"no such link {flap.link_id}: {flap}")
+            # Either direction names the duplex circuit; two flaps on
+            # one circuit would fight over the same physical line.
+            link = network.link(flap.link_id)
+            circuit = min(
+                flap.link_id,
+                link.reverse_id if link.reverse_id is not None
+                else flap.link_id,
+            )
+            if circuit in seen_circuits:
+                raise ValueError(
+                    f"links {seen_circuits[circuit]} and {flap.link_id} "
+                    f"flap the same duplex circuit"
+                )
+            seen_circuits[circuit] = flap.link_id
+
+    # ------------------------------------------------------------------
+    # Scripted events
+    # ------------------------------------------------------------------
+    def _fire(self, event: FaultEvent) -> None:
+        if event.action == "fail-circuit":
+            self._fail(event.link_id)
+        elif event.action == "restore-circuit":
+            self._restore(event.link_id)
+        elif event.action == "crash-node":
+            self._emit(PSN_CRASH, node=event.node_id)
+            for link_id in self._node_circuits(event.node_id):
+                self._fail(link_id)
+        elif event.action == "restart-node":
+            self._emit(PSN_RESTART, node=event.node_id)
+            for link_id in self._node_circuits(event.node_id):
+                self._restore(link_id)
+        elif event.action == "partition":
+            self._emit(PARTITION, value=float(len(event.nodes)))
+            for link_id in self._crossing_circuits(event.nodes):
+                self._fail(link_id)
+        elif event.action == "heal-partition":
+            self._emit(PARTITION_HEAL, value=float(len(event.nodes)))
+            for link_id in self._crossing_circuits(event.nodes):
+                self._restore(link_id)
+
+    def _fail(self, link_id: int) -> None:
+        """Down one circuit (idempotent: already-down circuits are left)."""
+        if not self.simulation.network.link(link_id).up:
+            return
+        self.faults_injected += 1
+        self.applied.append((self.simulation.sim.now, "fail", link_id))
+        self.simulation._fail_circuit(link_id)
+
+    def _restore(self, link_id: int) -> None:
+        if self.simulation.network.link(link_id).up:
+            return
+        self.restores_injected += 1
+        self.applied.append((self.simulation.sim.now, "restore", link_id))
+        self.simulation._restore_circuit(link_id)
+
+    def _node_circuits(self, node_id: int) -> List[int]:
+        """The circuits incident to a PSN (one direction each)."""
+        return [
+            link.link_id
+            for link in self.simulation.network.out_links(
+                node_id, include_down=True
+            )
+        ]
+
+    def _crossing_circuits(self, group) -> List[int]:
+        """Circuits with exactly one endpoint inside ``group``.
+
+        Each duplex circuit is named once, by its lower-numbered
+        direction, so fail/restore touch it exactly once.
+        """
+        inside = set(group)
+        crossing = []
+        for link in self.simulation.network.links:
+            if link.reverse_id is not None and link.reverse_id < link.link_id:
+                continue
+            if (link.src in inside) != (link.dst in inside):
+                crossing.append(link.link_id)
+        return crossing
+
+    def _emit(self, kind: str, node=None, value=None) -> None:
+        tracer = self.simulation.tracer
+        if tracer.enabled:
+            tracer.emit(self.simulation.sim.now, kind, node=node, value=value)
+
+    # ------------------------------------------------------------------
+    # Stochastic flapping
+    # ------------------------------------------------------------------
+    def _flap_rng(self, flap: LinkFlap):
+        return self.simulation.streams.stream(f"fault-flap-{flap.link_id}")
+
+    def _arm_flap(self, flap: LinkFlap) -> None:
+        delay = self._flap_rng(flap).expovariate(1.0 / flap.mtbf_s)
+        self.simulation.sim.call_in(
+            max(flap.start_s - self.simulation.sim.now, 0.0) + delay,
+            self._flap_fail, flap,
+        )
+
+    def _flap_fail(self, flap: LinkFlap) -> None:
+        now = self.simulation.sim.now
+        if flap.until_s is not None and now >= flap.until_s:
+            return  # past the flap window: no new failures
+        self._fail(flap.link_id)
+        repair = self._flap_rng(flap).expovariate(1.0 / flap.mttr_s)
+        self.simulation.sim.call_in(repair, self._flap_restore, flap)
+
+    def _flap_restore(self, flap: LinkFlap) -> None:
+        self._restore(flap.link_id)
+        self.flap_transitions += 1
+        now = self.simulation.sim.now
+        if flap.until_s is not None and now >= flap.until_s:
+            return
+        delay = self._flap_rng(flap).expovariate(1.0 / flap.mtbf_s)
+        self.simulation.sim.call_in(delay, self._flap_fail, flap)

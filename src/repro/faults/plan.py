@@ -1,0 +1,244 @@
+"""Declarative fault schedules (the ``FaultPlan`` schema).
+
+A :class:`FaultPlan` describes *what goes wrong and when* in one
+simulation run, independently of any simulator instance: scripted
+events (fail or restore a circuit, crash or restart a whole PSN,
+partition a region) plus stochastic per-link flapping driven by
+MTBF/MTTR exponential draws.  Plans are plain frozen dataclasses of
+primitives, so they pickle into a
+:class:`~repro.sim.parallel.RunSpec`'s config and round-trip through
+JSON (``python -m repro simulate --faults PLAN.json``).
+
+The plan is pure data; :class:`~repro.faults.injector.FaultInjector`
+compiles it onto a running :class:`~repro.sim.network_sim.NetworkSimulation`
+through the existing ``fail_circuit_at`` / ``restore_circuit_at``
+machinery.  See ``docs/robustness.md`` for the JSON schema.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Scripted actions a :class:`FaultEvent` can perform.
+ACTIONS = (
+    "fail-circuit",
+    "restore-circuit",
+    "crash-node",
+    "restart-node",
+    "partition",
+    "heal-partition",
+)
+
+_LINK_ACTIONS = ("fail-circuit", "restore-circuit")
+_NODE_ACTIONS = ("crash-node", "restart-node")
+_GROUP_ACTIONS = ("partition", "heal-partition")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted fault at a fixed simulation time.
+
+    Parameters
+    ----------
+    at_s:
+        Simulation time the event fires.
+    action:
+        One of :data:`ACTIONS`.
+    link_id:
+        The circuit concerned (``fail-circuit`` / ``restore-circuit``;
+        either direction of the duplex circuit names it).
+    node_id:
+        The PSN concerned (``crash-node`` / ``restart-node``: all of the
+        node's circuits go down / come back).
+    nodes:
+        One side of the cut (``partition`` / ``heal-partition``: every
+        circuit with exactly one endpoint in the group fails / recovers).
+    """
+
+    at_s: float
+    action: str
+    link_id: Optional[int] = None
+    node_id: Optional[int] = None
+    nodes: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", tuple(self.nodes))
+        if self.at_s < 0:
+            raise ValueError(f"event time must be >= 0: {self.at_s}")
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown action {self.action!r}; known: {', '.join(ACTIONS)}"
+            )
+        if self.action in _LINK_ACTIONS and self.link_id is None:
+            raise ValueError(f"{self.action} needs a link_id: {self}")
+        if self.action in _NODE_ACTIONS and self.node_id is None:
+            raise ValueError(f"{self.action} needs a node_id: {self}")
+        if self.action in _GROUP_ACTIONS and not self.nodes:
+            raise ValueError(f"{self.action} needs a nodes group: {self}")
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"at_s": self.at_s, "action": self.action}
+        if self.link_id is not None:
+            out["link_id"] = self.link_id
+        if self.node_id is not None:
+            out["node_id"] = self.node_id
+        if self.nodes:
+            out["nodes"] = list(self.nodes)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultEvent":
+        return cls(
+            at_s=float(data["at_s"]),
+            action=data["action"],
+            link_id=data.get("link_id"),
+            node_id=data.get("node_id"),
+            nodes=tuple(data.get("nodes", ())),
+        )
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Stochastic up/down flapping of one circuit.
+
+    The circuit alternates between up periods (exponential with mean
+    ``mtbf_s``) and down periods (exponential with mean ``mttr_s``).
+    Every draw comes from the run's dedicated
+    ``fault-flap-<link_id>`` :class:`~repro.des.random_streams.RandomStreams`
+    stream, so a flapping link's trajectory is a pure function of the
+    master seed and its own link id -- adding a flap to one circuit
+    never shifts another circuit's draws, and same-seed runs are
+    bit-identical.
+    """
+
+    link_id: int
+    #: Mean up time before a failure (seconds).
+    mtbf_s: float
+    #: Mean repair time (seconds).
+    mttr_s: float
+    #: No failures are injected before this time.
+    start_s: float = 0.0
+    #: No *new* failures after this time (a pending repair still
+    #: completes, so the run ends with the circuit recovering).
+    until_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.link_id < 0:
+            raise ValueError(f"link_id must be >= 0: {self.link_id}")
+        if self.mtbf_s <= 0 or self.mttr_s <= 0:
+            raise ValueError(
+                f"mtbf/mttr must be positive: {self.mtbf_s}, {self.mttr_s}"
+            )
+        if self.start_s < 0:
+            raise ValueError(f"start must be >= 0: {self.start_s}")
+        if self.until_s is not None and self.until_s <= self.start_s:
+            raise ValueError(
+                f"until ({self.until_s}) must follow start ({self.start_s})"
+            )
+
+    def to_dict(self) -> Dict:
+        out: Dict = {
+            "link_id": self.link_id,
+            "mtbf_s": self.mtbf_s,
+            "mttr_s": self.mttr_s,
+        }
+        if self.start_s:
+            out["start_s"] = self.start_s
+        if self.until_s is not None:
+            out["until_s"] = self.until_s
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LinkFlap":
+        return cls(
+            link_id=int(data["link_id"]),
+            mtbf_s=float(data["mtbf_s"]),
+            mttr_s=float(data["mttr_s"]),
+            start_s=float(data.get("start_s", 0.0)),
+            until_s=(
+                float(data["until_s"]) if data.get("until_s") is not None
+                else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete fault workload: scripted events plus stochastic flaps.
+
+    Attach to a run with ``ScenarioConfig(faults=plan)``; the plan is
+    picklable (it rides :class:`~repro.sim.parallel.RunSpec` configs
+    into worker processes) and JSON-serializable (:meth:`to_json` /
+    :meth:`from_json`, ``--faults PLAN.json`` on the CLI).
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    flaps: Tuple[LinkFlap, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        object.__setattr__(self, "flaps", tuple(self.flaps))
+        flapped = [flap.link_id for flap in self.flaps]
+        if len(set(flapped)) != len(flapped):
+            raise ValueError(
+                f"one flap per circuit: duplicate link ids in {flapped}"
+            )
+
+    def __bool__(self) -> bool:
+        return bool(self.events or self.flaps)
+
+    @classmethod
+    def single_outage(
+        cls, link_id: int, fail_at_s: float, restore_at_s: float
+    ) -> "FaultPlan":
+        """The classic one-circuit fail/restore scenario."""
+        if restore_at_s <= fail_at_s:
+            raise ValueError(
+                f"restore ({restore_at_s}) must follow fail ({fail_at_s})"
+            )
+        return cls(events=(
+            FaultEvent(fail_at_s, "fail-circuit", link_id=link_id),
+            FaultEvent(restore_at_s, "restore-circuit", link_id=link_id),
+        ))
+
+    def to_dict(self) -> Dict:
+        return {
+            "events": [event.to_dict() for event in self.events],
+            "flaps": [flap.to_dict() for flap in self.flaps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        unknown = set(data) - {"events", "flaps"}
+        if unknown:
+            raise ValueError(
+                f"unknown fault plan keys: {sorted(unknown)} "
+                f"(expected 'events' and/or 'flaps')"
+            )
+        return cls(
+            events=tuple(
+                FaultEvent.from_dict(e) for e in data.get("events", ())
+            ),
+            flaps=tuple(
+                LinkFlap.from_dict(f) for f in data.get("flaps", ())
+            ),
+        )
+
+    def to_json(self, path: str) -> str:
+        """Write the plan as JSON; returns ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def from_json(cls, path: str) -> "FaultPlan":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def load_fault_plan(path: str) -> FaultPlan:
+    """Load a :class:`FaultPlan` from a JSON file (the CLI entry point)."""
+    return FaultPlan.from_json(path)

@@ -68,6 +68,18 @@ class RunTelemetry:
     transmitter_drops: int = 0
     line_error_losses: int = 0
 
+    # -- fault injection / invariants -----------------------------------
+    #: Circuit failures the fault injector applied (scripted + flaps).
+    faults_injected: int = 0
+    #: Circuit restores the fault injector applied.
+    restores_injected: int = 0
+    #: Completed up->down->up stochastic flap cycles.
+    flap_transitions: int = 0
+    #: Invariant-monitor periodic checks executed.
+    invariant_checks: int = 0
+    #: Invariant violations recorded.
+    invariant_violations: int = 0
+
     # -- observability itself ------------------------------------------
     #: Trace events emitted (0 for disabled runs).
     trace_events: int = 0
@@ -160,6 +172,15 @@ class RunTelemetry:
             telemetry.update_packets_sent += transmitter.update_packets_sent
             telemetry.transmitter_drops += transmitter.drops
             telemetry.line_error_losses += transmitter.line_error_losses
+        injector = getattr(simulation, "fault_injector", None)
+        if injector is not None:
+            telemetry.faults_injected = injector.faults_injected
+            telemetry.restores_injected = injector.restores_injected
+            telemetry.flap_transitions = injector.flap_transitions
+        monitor = getattr(simulation, "invariant_monitor", None)
+        if monitor is not None:
+            telemetry.invariant_checks = monitor.checks_run
+            telemetry.invariant_violations = len(monitor.violations)
         return telemetry
 
 

@@ -54,6 +54,17 @@ PACKET_DROP = "packet-drop"
 #: A ten-second link utilization sample closed; ``value`` is the busy
 #: fraction.
 UTILIZATION = "utilization"
+#: A fault plan crashed a whole PSN (all its circuits fail).
+PSN_CRASH = "psn-crash"
+#: A crashed PSN restarted (all its circuits restore).
+PSN_RESTART = "psn-restart"
+#: A fault plan cut a region off; ``value`` is the group size.
+PARTITION = "partition"
+#: A regional partition healed; ``value`` is the group size.
+PARTITION_HEAL = "partition-heal"
+#: The invariant monitor observed a breached metric guarantee;
+#: ``data["invariant"]`` names it (see :mod:`repro.faults.invariants`).
+INVARIANT_VIOLATION = "invariant-violation"
 
 EVENT_KINDS = (
     COST_CHANGE,
@@ -67,6 +78,11 @@ EVENT_KINDS = (
     CIRCUIT_RESTORE,
     PACKET_DROP,
     UTILIZATION,
+    PSN_CRASH,
+    PSN_RESTART,
+    PARTITION,
+    PARTITION_HEAL,
+    INVARIANT_VIOLATION,
 )
 
 

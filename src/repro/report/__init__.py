@@ -6,6 +6,7 @@ the per-link cost and utilization series the paper's figures plot.
 
 from repro.report.tables import ascii_table
 from repro.report.plots import ascii_chart
+from repro.report.resilience import resilience_summary
 from repro.report.timeseries import (
     bucketed_rate,
     cost_timeseries,
@@ -23,5 +24,6 @@ __all__ = [
     "drop_timeseries",
     "event_counts",
     "read_trace",
+    "resilience_summary",
     "utilization_timeseries",
 ]

@@ -14,7 +14,9 @@ from repro.obs.telemetry import RunTelemetry, merge_telemetry
 from repro.sim.legacy_sim import BellmanFordSimulation
 from repro.sim.network_sim import NetworkSimulation, ScenarioConfig
 from repro.sim.parallel import (
+    BatchResult,
     RunFailedError,
+    RunFailure,
     RunSpec,
     combined_telemetry,
     replicate,
@@ -23,12 +25,15 @@ from repro.sim.parallel import (
     run_spec,
 )
 from repro.sim.scenarios import build_scenario, scenario_names
-from repro.sim.stats import SimulationReport, StatsCollector
+from repro.sim.stats import DeliveryTimeline, SimulationReport, StatsCollector
 
 __all__ = [
+    "BatchResult",
     "BellmanFordSimulation",
+    "DeliveryTimeline",
     "NetworkSimulation",
     "RunFailedError",
+    "RunFailure",
     "RunSpec",
     "RunTelemetry",
     "ScenarioConfig",

@@ -28,6 +28,9 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.des import RandomStreams, Simulator
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantMonitor
+from repro.faults.plan import FaultPlan
 from repro.metrics.base import LinkMetric
 from repro.obs import runtime as obs_runtime
 from repro.obs.profiler import PhaseProfiler, instrument_stats
@@ -37,7 +40,7 @@ from repro.psn.interfaces import DEFAULT_BUFFER_PACKETS, LinkTransmitter
 from repro.psn.node import Psn
 from repro.psn.packet import Packet, PacketKind
 from repro.routing.spf_cache import SpfCache
-from repro.sim.stats import SimulationReport, StatsCollector
+from repro.sim.stats import DeliveryTimeline, SimulationReport, StatsCollector
 from repro.topology.graph import Link, Network
 from repro.traffic.matrix import TrafficMatrix
 from repro.traffic.sources import start_sources
@@ -111,6 +114,22 @@ class ScenarioConfig:
     #: bookkeeping event at ``warmup_s``; it observes counters without
     #: touching simulation state, so the trajectory is unchanged.
     post_warmup_update_rates: bool = False
+    #: Declarative fault workload (a :class:`~repro.faults.FaultPlan`):
+    #: scripted circuit/node/partition events plus stochastic link
+    #: flapping, compiled onto the run by a
+    #: :class:`~repro.faults.FaultInjector`.  Plans are frozen
+    #: primitives, so fault-carrying configs still pickle into
+    #: :class:`~repro.sim.parallel.RunSpec` fleets.  ``None`` = no
+    #: faults (and no injector is even constructed).
+    faults: Optional[object] = None
+    #: Runtime verification of the paper's metric guarantees (see
+    #: :mod:`repro.faults.invariants`): ``False`` (off, the default),
+    #: ``True`` / ``"record"`` (check each routing period, collect
+    #: violations on the report), or ``"strict"`` (raise
+    #: :class:`~repro.faults.InvariantViolationError` on the first).
+    #: The monitor only reads simulation state; checked runs stay
+    #: bit-identical to unchecked ones.
+    check_invariants: object = False
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -128,6 +147,11 @@ class ScenarioConfig:
             raise ValueError(
                 f"scheduler must be None, 'auto', 'heap' or 'calendar': "
                 f"{self.scheduler!r}"
+            )
+        if self.check_invariants not in (False, True, "record", "strict"):
+            raise ValueError(
+                f"check_invariants must be False, True, 'record' or "
+                f"'strict': {self.check_invariants!r}"
             )
 
 
@@ -165,11 +189,17 @@ class NetworkSimulation:
         )
         #: Accumulated wall seconds inside :meth:`run`.
         self._wall_s = 0.0
+        #: Bucketed offered/delivered counts for resilience analysis;
+        #: only allocated when a fault plan is attached.
+        self.timeline: Optional[DeliveryTimeline] = (
+            DeliveryTimeline() if self.config.faults is not None else None
+        )
         self.stats = StatsCollector(
             network,
             warmup_s=self.config.warmup_s,
             tracer=self.tracer,
             post_warmup_update_rates=self.config.post_warmup_update_rates,
+            timeline=self.timeline,
         )
         if self.profiler is not None:
             instrument_stats(self.profiler, self.stats)
@@ -239,6 +269,24 @@ class NetworkSimulation:
             self.sim.call_in(
                 self.config.warmup_s, self._snapshot_warmup_updates
             )
+        #: Compiled fault workload (None without a plan).  Constructed
+        #: after the PSNs so same-timestamp fault events fire after
+        #: measurement closes -- a fixed, deterministic order.
+        self.fault_injector: Optional[FaultInjector] = None
+        if self.config.faults is not None:
+            plan = self.config.faults
+            if not isinstance(plan, FaultPlan):
+                raise TypeError(
+                    f"ScenarioConfig.faults must be a FaultPlan: {plan!r}"
+                )
+            self.fault_injector = FaultInjector(self, plan)
+        #: Runtime invariant checker (None unless enabled).  Registered
+        #: last: its periodic tick sees each routing period complete.
+        self.invariant_monitor: Optional[InvariantMonitor] = None
+        if self.config.check_invariants:
+            self.invariant_monitor = InvariantMonitor(
+                self, strict=self.config.check_invariants == "strict"
+            )
 
     # ------------------------------------------------------------------
     # Wiring callbacks
@@ -306,6 +354,10 @@ class NetworkSimulation:
         for psn in self.psns.values():
             psn.flush_pending_updates()
         self._wall_s += time.perf_counter() - started
+        # Final invariant sweep over whatever the last partial period
+        # advertised (and a loop check on the settled trees).
+        if self.invariant_monitor is not None:
+            self.invariant_monitor.check_now()
         update_transmissions = sum(
             t.update_packets_sent for t in self.transmitters.values()
         )
@@ -316,6 +368,16 @@ class NetworkSimulation:
             update_transmissions=update_transmissions,
         )
         report.telemetry = self.telemetry()
+        if self.invariant_monitor is not None:
+            report.invariant_violations = list(
+                self.invariant_monitor.violations
+            )
+        if self.fault_injector is not None:
+            # Local import: repro.report renders simulations and must
+            # stay importable without dragging the sim package in.
+            from repro.report.resilience import resilience_summary
+
+            report.resilience = resilience_summary(self)
         obs_runtime.record_telemetry(report.telemetry)
         if self.tracer.enabled:
             self.tracer.flush()

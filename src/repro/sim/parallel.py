@@ -17,14 +17,36 @@ input order.  Determinism is preserved in both senses:
   :class:`~repro.des.random_streams.RandomStreams` uses for named
   streams, so replication *k* of an experiment is the same run no matter
   how many replications surround it.
+
+**Graceful degradation.**  A thousand-replication sweep should not be
+discarded because one worker died.  ``run_many`` therefore supports
+
+* ``on_error="collect"`` -- finish everything that can finish and
+  return a :class:`BatchResult`: the completed reports plus one
+  structured :class:`RunFailure` record per run that could not (the
+  default ``on_error="raise"`` keeps the historical fail-fast
+  behaviour);
+* ``timeout_s`` -- a per-run wall-clock budget; a run that exceeds it
+  is abandoned (the pool is recycled) instead of hanging the sweep;
+* ``retries`` / ``retry_backoff_s`` -- bounded re-execution with
+  exponential backoff for *transient* failures (a crashed worker, a
+  timed-out run).  Deterministic in-run exceptions are never retried:
+  the same spec would fail the same way.
+
+Because runs are deterministic, re-executing one after a pool crash is
+safe: a completed retry returns exactly the report the first attempt
+would have produced.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.des.random_streams import RandomStreams
 from repro.obs.telemetry import RunTelemetry, merge_telemetry
@@ -61,37 +83,137 @@ class RunFailedError(RuntimeError):
     process (``__reduce__`` below: exceptions raised in a pool are
     pickled to the parent, and the default reduction would drop our
     extra constructor arguments).
+
+    ``cause`` is the failure rendered as text.  On the worker side it is
+    the *full* ``traceback.format_exception`` output, so the original
+    multi-line traceback survives the pickle round-trip verbatim
+    (exception chaining itself does not pickle); :attr:`summary` is its
+    last line (``TypeName: message``), and the full text is appended to
+    the message only when there is more than the summary to show.
     """
 
     def __init__(self, scenario: str, seed: int, cause: str) -> None:
-        super().__init__(
-            f"run failed: scenario={scenario!r} seed={seed} -- {cause}; "
+        summary = cause.strip().rsplit("\n", 1)[-1].strip()
+        message = (
+            f"run failed: scenario={scenario!r} seed={seed} -- {summary}; "
             f"replay with run_spec(RunSpec({scenario!r}, "
             f"ScenarioConfig(seed={seed})))"
         )
+        if summary != cause.strip():
+            message += f"\n--- worker traceback ---\n{cause.rstrip()}"
+        super().__init__(message)
         self.scenario = scenario
         self.seed = seed
         self.cause = cause
 
+    @property
+    def summary(self) -> str:
+        """The last line of the cause (``TypeName: message``)."""
+        return self.cause.strip().rsplit("\n", 1)[-1].strip()
+
     def __reduce__(self):
         return (RunFailedError, (self.scenario, self.seed, self.cause))
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """Structured record of one run that could not complete.
+
+    Collected by ``run_many(..., on_error="collect")`` instead of
+    raising.  ``traceback`` preserves the worker's full traceback text
+    (or a one-line description for timeouts and pool crashes, where no
+    Python traceback exists); ``attempts`` counts executions including
+    retries.
+    """
+
+    index: int
+    scenario: str
+    seed: int
+    error: str
+    traceback: str
+    attempts: int
+
+    def to_error(self) -> RunFailedError:
+        """The failure as the exception ``on_error="raise"`` would raise."""
+        return RunFailedError(self.scenario, self.seed, self.traceback)
+
+    def to_dict(self) -> Dict:
+        return {
+            "index": self.index,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "error": self.error,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class BatchResult:
+    """Everything a partial-results ``run_many`` sweep produced.
+
+    ``results`` is slot-aligned with the input specs (``None`` where the
+    run failed); ``failures`` holds one :class:`RunFailure` per failed
+    slot.  ``reports`` flattens the completed runs in input order --
+    with no failures it equals what ``on_error="raise"`` returns.
+    """
+
+    results: List[Optional[SimulationReport]]
+    failures: List[RunFailure]
+
+    @property
+    def reports(self) -> List[SimulationReport]:
+        return [report for report in self.results if report is not None]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_first(self) -> None:
+        """Re-raise the first failure (no-op when everything completed)."""
+        if self.failures:
+            raise self.failures[0].to_error()
+
+
+def _resolve_trace_dir(config: ScenarioConfig) -> ScenarioConfig:
+    """Apply the worker-side trace naming convention.
+
+    When a spec's ``trace`` names a *directory* (an existing one, or a
+    path spelled with a trailing separator), the run writes
+    ``trace-<seed>.jsonl`` under it.  Fleet runs can then point every
+    replication at one directory and get per-run trace files without
+    hand-assigned names.  File paths and the ``"memory"`` / ``"null"``
+    specs pass through untouched.
+    """
+    trace = config.trace
+    if not isinstance(trace, str) or trace in ("memory", "null"):
+        return config
+    if trace.endswith(os.sep) or trace.endswith("/") or os.path.isdir(trace):
+        os.makedirs(trace, exist_ok=True)
+        return replace(
+            config, trace=os.path.join(trace, f"trace-{config.seed}.jsonl")
+        )
+    return config
 
 
 def run_spec(spec: RunSpec) -> SimulationReport:
     """Build and run one spec to completion (the worker-side function).
 
     Any failure is re-raised as :class:`RunFailedError` identifying the
-    spec, chained to the original exception (serial path) or carrying
-    its rendered form (pool path, where chaining doesn't pickle).
+    spec, chained to the original exception (visible on the serial path;
+    chaining doesn't survive the pool's pickle round-trip, so the full
+    traceback text also rides in ``cause``).
     """
     try:
-        simulation = build_scenario(spec.scenario, config=spec.config)
+        config = _resolve_trace_dir(spec.config)
+        simulation = build_scenario(spec.scenario, config=config)
         return simulation.run()
     except Exception as exc:
         raise RunFailedError(
             spec.scenario,
             spec.config.seed,
-            f"{type(exc).__name__}: {exc}",
+            "".join(traceback.format_exception(type(exc), exc,
+                                               exc.__traceback__)).rstrip(),
         ) from exc
 
 
@@ -123,7 +245,11 @@ def replicate(spec: RunSpec, master_seed: int, count: int) -> List[RunSpec]:
 def run_many(
     specs: Sequence[RunSpec],
     processes: Optional[int] = None,
-) -> List[SimulationReport]:
+    on_error: str = "raise",
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.5,
+) -> Union[List[SimulationReport], BatchResult]:
     """Run every spec, fanning out across worker processes.
 
     Parameters
@@ -136,22 +262,322 @@ def run_many(
         ``processes == 1`` (or fewer than two specs) runs serially in
         this process -- same results, no pool overhead -- so callers can
         always use :func:`run_many` and tune ``processes`` freely.
+    on_error:
+        ``"raise"`` (default): raise the first :class:`RunFailedError`,
+        returning a plain report list on success -- the historical
+        fail-fast contract.  ``"collect"``: never raise for a failed
+        run; return a :class:`BatchResult` with every completed report
+        plus structured :class:`RunFailure` records.
+    timeout_s:
+        Per-run wall-clock budget.  A run exceeding it counts as a
+        transient failure: the pool is recycled (a hung worker cannot be
+        cancelled, only abandoned) and the run is retried or recorded.
+        Only enforced when a pool is used; the serial path runs
+        everything in this process and cannot preempt a run.
+    retries:
+        Extra executions granted to *transiently* failed runs (worker
+        crash, pool breakage, timeout).  Deterministic in-run exceptions
+        are never retried -- the same spec fails the same way.
+    retry_backoff_s:
+        Sleep before retry round *r* is ``retry_backoff_s * 2**(r-1)``
+        (exponential backoff, first retry waits one unit).
 
     Large spec lists are handed to the pool in chunks (about four per
     worker) so per-task pickling round-trips don't dominate experiments
-    made of many short runs.
+    made of many short runs.  The chunked fast path is used whenever no
+    resilience feature is requested, keeping its overhead at zero.
     """
     specs = list(specs)
     if processes is not None and processes < 1:
         raise ValueError(f"processes must be >= 1, got {processes}")
+    if on_error not in ("raise", "collect"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'collect': {on_error!r}"
+        )
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError(f"timeout must be positive: {timeout_s}")
     if processes is None:
         processes = os.cpu_count() or 1
     processes = min(processes, len(specs))
+    resilient = (
+        on_error == "collect" or timeout_s is not None or retries > 0
+    )
     if processes <= 1 or len(specs) < 2:
-        return [run_spec(spec) for spec in specs]
-    chunksize = max(1, len(specs) // (processes * 4))
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        return list(pool.map(run_spec, specs, chunksize=chunksize))
+        result = _run_serial(specs, on_error, retries, retry_backoff_s)
+        return result if on_error == "collect" else result.reports
+    if not resilient:
+        chunksize = max(1, len(specs) // (processes * 4))
+        try:
+            with ProcessPoolExecutor(max_workers=processes) as pool:
+                return list(pool.map(run_spec, specs, chunksize=chunksize))
+        except BrokenProcessPool:
+            # A worker died mid-sweep.  The chunked map cannot say which
+            # spec killed it, so re-run on the resilient path (runs are
+            # deterministic -- completed work re-executes identically)
+            # purely to attribute the crash and raise a RunFailedError
+            # naming the guilty spec instead of a bare pool traceback.
+            result = _run_resilient(
+                specs, processes, timeout_s=None, retries=0,
+                retry_backoff_s=retry_backoff_s, fail_fast=True,
+            )
+            result.raise_first()
+            return result.reports
+    result = _run_resilient(
+        specs, processes, timeout_s, retries, retry_backoff_s,
+        fail_fast=on_error == "raise",
+    )
+    if on_error == "raise":
+        result.raise_first()
+        return result.reports
+    return result
+
+
+def _run_serial(
+    specs: Sequence[RunSpec],
+    on_error: str,
+    retries: int,
+    retry_backoff_s: float,
+) -> BatchResult:
+    """In-process execution (no pool, so no timeouts and no crashes to
+    survive; retries still apply to be contract-compatible, though a
+    deterministic failure never passes on a later attempt)."""
+    results: List[Optional[SimulationReport]] = [None] * len(specs)
+    failures: List[RunFailure] = []
+    for index, spec in enumerate(specs):
+        try:
+            results[index] = run_spec(spec)
+        except RunFailedError as error:
+            if on_error == "raise":
+                raise
+            failures.append(RunFailure(
+                index=index,
+                scenario=spec.scenario,
+                seed=spec.config.seed,
+                error=error.summary,
+                traceback=error.cause,
+                attempts=1,
+            ))
+    return BatchResult(results=results, failures=failures)
+
+
+class _ResilientSweep:
+    """State machine behind the resilient :func:`run_many` path.
+
+    Two modes, because a broken pool cannot say *which* task killed it
+    (``BrokenProcessPool`` hits every in-flight future at once):
+
+    * **pooled** -- submit everything pending, harvest in input order.
+      Deterministic :class:`RunFailedError` results are final; a
+      *timeout* is charged to the run we were waiting on (nobody else is
+      affected -- the hung worker is reclaimed by recycling the pool at
+      the end of the round); a *broken pool* charges nobody and drops to
+      isolation mode.
+    * **isolation** -- run pending specs one at a time on the pool, so a
+      crash unambiguously identifies its spec.  Completed isolation runs
+      are kept (real progress, just without parallelism); once a crash
+      has been attributed -- retried or recorded -- the sweep returns to
+      pooled mode for the remainder.
+
+    Deterministic runs make re-execution after a lost round safe: a
+    retry returns exactly the report the first attempt would have.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[RunSpec],
+        processes: int,
+        timeout_s: Optional[float],
+        retries: int,
+        retry_backoff_s: float,
+        fail_fast: bool,
+    ) -> None:
+        self.specs = specs
+        self.processes = processes
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.fail_fast = fail_fast
+        self.results: List[Optional[SimulationReport]] = [None] * len(specs)
+        self.failures: Dict[int, RunFailure] = {}
+        self.attempts = [0] * len(specs)
+        self.pending = list(range(len(specs)))
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self._backoff_rounds = 0
+
+    # -- plumbing ------------------------------------------------------
+    def _fresh_pool(self) -> ProcessPoolExecutor:
+        if self.pool is not None:
+            _shutdown(self.pool)
+        self.pool = ProcessPoolExecutor(max_workers=self.processes)
+        return self.pool
+
+    def _backoff(self) -> None:
+        """Exponential sleep before re-running after a transient loss."""
+        delay = self.retry_backoff_s * (2 ** self._backoff_rounds)
+        self._backoff_rounds += 1
+        if delay > 0:
+            time.sleep(delay)
+
+    def _final(self, index: int, error: str, tb: str) -> None:
+        spec = self.specs[index]
+        self.failures[index] = RunFailure(
+            index=index,
+            scenario=spec.scenario,
+            seed=spec.config.seed,
+            error=error,
+            traceback=tb,
+            attempts=self.attempts[index],
+        )
+
+    def _charge_transient(self, index: int, description: str) -> bool:
+        """Charge a transient failure; True if the run may retry."""
+        if self.attempts[index] <= self.retries:
+            return True
+        self._final(index, description.split("\n", 1)[0], description)
+        return False
+
+    def _timeout_text(self) -> str:
+        return (
+            f"TimeoutError: run exceeded its {self.timeout_s}s "
+            f"wall-clock budget"
+        )
+
+    # -- the two modes -------------------------------------------------
+    def _pooled_round(self) -> str:
+        """One submit-everything round; returns the next mode."""
+        pool = self._fresh_pool() if self.pool is None else self.pool
+        futures = {
+            index: pool.submit(run_spec, self.specs[index])
+            for index in self.pending
+        }
+        resolved: List[int] = []
+        hung = False
+        broken = False
+        for index in self.pending:
+            spec = self.specs[index]
+            self.attempts[index] += 1
+            try:
+                self.results[index] = futures[index].result(
+                    timeout=self.timeout_s
+                )
+                resolved.append(index)
+            except RunFailedError as error:
+                self._final(index, error.summary, error.cause)
+                resolved.append(index)
+                if self.fail_fast:
+                    break
+            except FutureTimeout:
+                # Only this run is implicated; the rest of the pool is
+                # still computing.  The hung worker is reclaimed when
+                # the round's pool is recycled below.
+                hung = True
+                if not self._charge_transient(index, self._timeout_text()):
+                    resolved.append(index)
+                if self.fail_fast and self.failures:
+                    break
+            except Exception:
+                # Pool breakage: every in-flight future fails together,
+                # so blame cannot be assigned here.  Charge nobody
+                # (undo this harvest's attempt) and isolate.
+                self.attempts[index] -= 1
+                broken = True
+                break
+        done = set(resolved) | set(self.failures)
+        self.pending = [i for i in self.pending if i not in done]
+        if broken:
+            self._fresh_pool()
+            return "isolate"
+        if hung:
+            self._fresh_pool()
+            if self.pending:
+                self._backoff()
+        return "pooled"
+
+    def _isolation_step(self) -> str:
+        """Run exactly one pending spec alone; returns the next mode."""
+        index = self.pending[0]
+        spec = self.specs[index]
+        pool = self.pool if self.pool is not None else self._fresh_pool()
+        self.attempts[index] += 1
+        try:
+            self.results[index] = pool.submit(
+                run_spec, spec
+            ).result(timeout=self.timeout_s)
+        except RunFailedError as error:
+            self._final(index, error.summary, error.cause)
+        except FutureTimeout:
+            retrying = self._charge_transient(index, self._timeout_text())
+            self._fresh_pool()
+            if retrying:
+                self._backoff()
+                return "isolate"  # same spec, alone, next step
+        except Exception as exc:
+            # Alone on the pool, so the crash is unambiguously this
+            # spec's.  Attribution done -- parallelism can resume.
+            description = (
+                f"{type(exc).__name__}: worker process died while "
+                f"running this spec alone ({exc or 'no detail'})"
+            )
+            retrying = self._charge_transient(index, description)
+            self._fresh_pool()
+            if retrying:
+                self._backoff()
+                return "isolate"
+            self.pending.pop(0)
+            return "pooled"
+        self.pending.pop(0)
+        return "pooled"
+
+    def run(self) -> BatchResult:
+        mode = "pooled"
+        try:
+            while self.pending:
+                if self.fail_fast and self.failures:
+                    break
+                if mode == "isolate":
+                    mode = self._isolation_step()
+                else:
+                    mode = self._pooled_round()
+        finally:
+            if self.pool is not None:
+                _shutdown(self.pool)
+        ordered = [self.failures[i] for i in sorted(self.failures)]
+        return BatchResult(results=list(self.results), failures=ordered)
+
+
+def _run_resilient(
+    specs: Sequence[RunSpec],
+    processes: int,
+    timeout_s: Optional[float],
+    retries: int,
+    retry_backoff_s: float,
+    fail_fast: bool,
+) -> BatchResult:
+    """The submit-based pool path with timeouts, retries and collection."""
+    return _ResilientSweep(
+        specs, processes, timeout_s, retries, retry_backoff_s, fail_fast
+    ).run()
+
+
+def _shutdown(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on abandoned (hung) work."""
+    # Snapshot the workers first: shutdown() drops the executor's
+    # ``_processes`` reference, and a timed-out run may still be
+    # executing in one of them.  (ProcessPoolExecutor keeps no public
+    # handle on its workers.)
+    workers = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover - pre-3.9 signature
+        pool.shutdown(wait=False)
+    # Forcibly end still-running workers so abandoned work cannot
+    # outlive the sweep or deadlock interpreter exit (the pool's atexit
+    # hook joins its management thread, which waits on its workers).
+    for process in workers:
+        if process.is_alive():
+            process.terminate()
 
 
 def combined_telemetry(

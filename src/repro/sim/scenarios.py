@@ -147,6 +147,31 @@ def _two_region_hnspf(config: ScenarioConfig):
     )
 
 
+def _poison_fail(config: ScenarioConfig):
+    """Test-only: building this scenario always raises."""
+    raise RuntimeError("poison scenario: deliberate build failure")
+
+
+def _poison_exit(config: ScenarioConfig):
+    """Test-only: kills the hosting process outright (a worker crash).
+
+    ``os._exit`` skips every handler, so the parent sees a dead pool
+    process -- exactly the failure mode ``run_many``'s graceful
+    degradation exists for.
+    """
+    import os as _os
+
+    _os._exit(13)
+
+
+def _poison_hang(config: ScenarioConfig):
+    """Test-only: never returns (a hung worker, for timeout tests)."""
+    import time as _time
+
+    while True:  # pragma: no cover - killed from outside
+        _time.sleep(0.05)
+
+
 _BUILDERS: Dict[str, Callable] = {
     "may87": _may87,
     "aug87": _aug87,
@@ -158,12 +183,19 @@ _BUILDERS: Dict[str, Callable] = {
     "grid64": _grid64,
     "rand256": _rand256,
     "rand512": _rand512,
+    # Underscore-prefixed entries are test-only fault injectors for the
+    # parallel harness.  They must live in this module-level registry --
+    # pool workers rebuild scenarios by name from a fresh import -- but
+    # scenario_names() hides them from users and the CLI.
+    "_poison-fail": _poison_fail,
+    "_poison-exit": _poison_exit,
+    "_poison-hang": _poison_hang,
 }
 
 
 def scenario_names() -> list:
-    """Names accepted by :func:`build_scenario`."""
-    return sorted(_BUILDERS)
+    """Names accepted by :func:`build_scenario` (test hooks excluded)."""
+    return sorted(name for name in _BUILDERS if not name.startswith("_"))
 
 
 def build_scenario(

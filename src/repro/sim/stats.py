@@ -19,6 +19,53 @@ from repro.routing.spf import CostTable, SpfTree
 from repro.topology.graph import Network
 
 
+class DeliveryTimeline:
+    """Bucketed offered/delivered packet counts over simulation time.
+
+    The summary report only keeps whole-run totals; resilience analysis
+    needs *when* delivery dipped -- the fraction of offered packets that
+    made it through while the network routed around a fault.  The
+    timeline buckets both counters (default one-second buckets, O(1) per
+    packet) so :func:`repro.report.resilience_summary` can ask for the
+    delivery fraction over any window.  It is only attached when a run
+    has faults or invariant checking enabled; otherwise the collector
+    holds ``None`` and the hot path pays a single ``is not None`` test.
+    """
+
+    __slots__ = ("bucket_s", "offered", "delivered")
+
+    def __init__(self, bucket_s: float = 1.0) -> None:
+        if bucket_s <= 0:
+            raise ValueError(f"bucket must be positive: {bucket_s}")
+        self.bucket_s = bucket_s
+        self.offered: Dict[int, int] = {}
+        self.delivered: Dict[int, int] = {}
+
+    def record_offered(self, now: float) -> None:
+        bucket = int(now / self.bucket_s)
+        self.offered[bucket] = self.offered.get(bucket, 0) + 1
+
+    def record_delivered(self, now: float) -> None:
+        bucket = int(now / self.bucket_s)
+        self.delivered[bucket] = self.delivered.get(bucket, 0) + 1
+
+    def fraction(self, start_s: float, end_s: float) -> float:
+        """Delivered / offered over ``[start_s, end_s)`` (NaN if idle)."""
+        if end_s <= start_s:
+            return float("nan")
+        first = int(start_s / self.bucket_s)
+        last = int((end_s - 1e-12) / self.bucket_s)
+        offered = sum(
+            self.offered.get(b, 0) for b in range(first, last + 1)
+        )
+        if offered == 0:
+            return float("nan")
+        delivered = sum(
+            self.delivered.get(b, 0) for b in range(first, last + 1)
+        )
+        return delivered / offered
+
+
 @dataclass
 class SimulationReport:
     """Summary indicators of one run (the Table-1 row set).
@@ -67,8 +114,14 @@ class SimulationReport:
 
     def __post_init__(self) -> None:
         # Attached by NetworkSimulation.run(); see the class docstring
-        # for why this is an attribute and not a field.
+        # for why these are attributes and not fields.  ``telemetry`` is
+        # the run's counter block; ``invariant_violations`` is the
+        # InvariantMonitor's findings (None when checking was off);
+        # ``resilience`` is the per-fault recovery summary (None when the
+        # run had no fault plan).
         self.telemetry = None
+        self.invariant_violations = None
+        self.resilience = None
 
     @property
     def path_ratio(self) -> float:
@@ -106,6 +159,11 @@ class StatsCollector:
         supplies.  Default off: the historical indicator averages the
         whole run, warmup (and its boot flood) included, which skews
         Table-1 comparisons -- see ``docs/observability.md``.
+    timeline:
+        Optional :class:`DeliveryTimeline`; when present, every offered
+        and delivered packet is also bucketed by time (warmup included)
+        for resilience analysis.  ``None`` (the default) costs one
+        ``is not None`` test per packet.
     """
 
     def __init__(
@@ -114,10 +172,12 @@ class StatsCollector:
         warmup_s: float = 0.0,
         tracer: Optional[Tracer] = None,
         post_warmup_update_rates: bool = False,
+        timeline: Optional[DeliveryTimeline] = None,
     ) -> None:
         self.network = network
         self.warmup_s = warmup_s
         self.post_warmup_update_rates = post_warmup_update_rates
+        self.timeline = timeline
         #: None when tracing is disabled, so emission sites pay one
         #: ``is not None`` test and nothing else.
         self._trace: Optional[Tracer] = (
@@ -160,12 +220,16 @@ class StatsCollector:
         self._last_event_s = max(self._last_event_s, now)
 
     def packet_offered(self, now: float) -> None:
+        if self.timeline is not None:
+            self.timeline.record_offered(now)
         if now < self.warmup_s:
             return
         self._note_time(now)
         self.offered += 1
 
     def packet_delivered(self, packet: Packet, now: float) -> None:
+        if self.timeline is not None:
+            self.timeline.record_delivered(now)
         if packet.created_s < self.warmup_s:
             return
         self._note_time(now)

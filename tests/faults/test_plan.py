@@ -1,0 +1,103 @@
+"""Tests for the declarative fault schema (:mod:`repro.faults.plan`)."""
+
+import pickle
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan, LinkFlap, load_fault_plan
+
+
+def test_event_requires_matching_target():
+    FaultEvent(1.0, "fail-circuit", link_id=3)  # ok
+    FaultEvent(1.0, "crash-node", node_id=2)  # ok
+    FaultEvent(1.0, "partition", nodes=(0, 1))  # ok
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "fail-circuit")  # no link
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "crash-node")  # no node
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "partition")  # no group
+    with pytest.raises(ValueError):
+        FaultEvent(-1.0, "fail-circuit", link_id=0)  # negative time
+    with pytest.raises(ValueError):
+        FaultEvent(1.0, "explode")  # unknown action
+
+
+def test_flap_validation():
+    LinkFlap(0, mtbf_s=30.0, mttr_s=5.0)  # ok
+    with pytest.raises(ValueError):
+        LinkFlap(0, mtbf_s=0.0, mttr_s=5.0)
+    with pytest.raises(ValueError):
+        LinkFlap(0, mtbf_s=30.0, mttr_s=-1.0)
+    with pytest.raises(ValueError):
+        LinkFlap(-1, mtbf_s=30.0, mttr_s=5.0)
+    with pytest.raises(ValueError):
+        LinkFlap(0, mtbf_s=30.0, mttr_s=5.0, start_s=50.0, until_s=50.0)
+
+
+def test_plan_rejects_duplicate_flaps():
+    with pytest.raises(ValueError):
+        FaultPlan(flaps=(
+            LinkFlap(4, mtbf_s=30.0, mttr_s=5.0),
+            LinkFlap(4, mtbf_s=60.0, mttr_s=5.0),
+        ))
+
+
+def test_single_outage_shape():
+    plan = FaultPlan.single_outage(7, 30.0, 60.0)
+    assert [e.action for e in plan.events] == \
+        ["fail-circuit", "restore-circuit"]
+    assert all(e.link_id == 7 for e in plan.events)
+    assert bool(plan)
+    assert not FaultPlan()
+    with pytest.raises(ValueError):
+        FaultPlan.single_outage(7, 60.0, 30.0)
+
+
+def test_json_round_trip(tmp_path):
+    plan = FaultPlan(
+        events=(
+            FaultEvent(30.0, "fail-circuit", link_id=2),
+            FaultEvent(45.0, "crash-node", node_id=1),
+            FaultEvent(50.0, "partition", nodes=(0, 1, 2)),
+        ),
+        flaps=(LinkFlap(4, mtbf_s=30.0, mttr_s=5.0, until_s=100.0),),
+    )
+    path = str(tmp_path / "plan.json")
+    plan.to_json(path)
+    assert load_fault_plan(path) == plan
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown fault plan keys"):
+        FaultPlan.from_dict({"events": [], "typo": []})
+
+
+def test_plan_pickles_inside_configs():
+    """Plans ride RunSpec configs into pool workers, so must pickle."""
+    from repro.sim import ScenarioConfig
+
+    plan = FaultPlan.single_outage(3, 10.0, 20.0)
+    config = ScenarioConfig(faults=plan, check_invariants=True)
+    clone = pickle.loads(pickle.dumps(config))
+    assert clone.faults == plan
+    assert clone.check_invariants is True
+
+
+def test_config_validates_faults_and_invariants():
+    from repro.sim import ScenarioConfig
+
+    with pytest.raises(ValueError):
+        ScenarioConfig(check_invariants="loudly")
+    with pytest.raises(TypeError):
+        from repro.metrics import HopNormalizedMetric
+        from repro.sim import NetworkSimulation
+        from repro.topology import build_ring_network
+        from repro.traffic import TrafficMatrix
+
+        network = build_ring_network(4)
+        NetworkSimulation(
+            network, HopNormalizedMetric(),
+            TrafficMatrix.uniform(network, total_bps=1000.0),
+            ScenarioConfig(faults={"events": []}),  # dict, not a FaultPlan
+        )

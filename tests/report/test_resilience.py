@@ -1,0 +1,104 @@
+"""Tests for the resilience summary (:mod:`repro.report.resilience`)."""
+
+import json
+
+from repro.faults import FaultPlan
+from repro.metrics import HopNormalizedMetric
+from repro.report.resilience import _burst, resilience_summary
+from repro.sim import NetworkSimulation, ScenarioConfig
+from repro.sim.stats import DeliveryTimeline
+from repro.topology import build_two_region_network
+from repro.traffic import TrafficMatrix
+
+
+def test_burst_chains_updates_within_the_quiet_gap():
+    times = [10.0, 11.0, 13.0, 30.0, 31.0]
+    # From t0=9: 10, 11, 13 chain (gaps <= 5); 30 is past the gap.
+    assert _burst(times, 9.0, 5.0) == (13.0, 3)
+    # From t0=29 only the trailing pair chains.
+    assert _burst(times, 29.0, 5.0) == (31.0, 2)
+    # No update within quiet_s of t0: an empty burst.
+    assert _burst(times, 20.0, 5.0) == (20.0, 0)
+    assert _burst([], 5.0, 5.0) == (5.0, 0)
+
+
+def test_delivery_timeline_fraction():
+    timeline = DeliveryTimeline()
+    for t in (10.2, 10.7, 11.4, 12.9):
+        timeline.record_offered(t)
+    for t in (10.2, 11.4):
+        timeline.record_delivered(t)
+    assert timeline.fraction(10.0, 13.0) == 0.5
+    # Outside any offered traffic the fraction is undefined (NaN).
+    empty = timeline.fraction(100.0, 110.0)
+    assert empty != empty
+
+
+def _faulted_run():
+    built = build_two_region_network(nodes_per_region=3)
+    traffic = TrafficMatrix.two_region(
+        built.west_ids, built.east_ids, inter_region_bps=60_000.0
+    )
+    simulation = NetworkSimulation(
+        built.network, HopNormalizedMetric(), traffic,
+        ScenarioConfig(
+            duration_s=90.0, warmup_s=10.0, seed=5,
+            faults=FaultPlan.single_outage(12, 30.0, 60.0),
+            check_invariants=True,
+        ),
+    )
+    report = simulation.run()
+    return simulation, report
+
+
+def test_summary_describes_each_applied_fault():
+    simulation, report = _faulted_run()
+    summary = resilience_summary(simulation)
+    assert summary["fault_count"] == 2  # one fail + one restore
+    kinds = [(f["kind"], f["link"]) for f in summary["faults"]]
+    assert kinds == [("fail", 12), ("restore", 12)]
+    for fault in summary["faults"]:
+        # Both transitions trigger an update storm and full recovery.
+        assert fault["storm_updates"] > 0
+        assert 0.0 < fault["reconverge_s"] < 30.0
+        assert 0.0 < fault["delivery_fraction"] <= 1.0
+    assert summary["worst_reconverge_s"] >= summary["mean_reconverge_s"] > 0
+    assert summary["total_storm_updates"] == \
+        sum(f["storm_updates"] for f in summary["faults"])
+    assert summary["min_delivery_fraction"] > 0.9  # brief, local outage
+    assert summary["invariant_violations"] == 0
+    # The run attaches the same summary to its report, JSON-ready.
+    assert report.resilience["fault_count"] == 2
+    json.dumps(report.resilience)
+
+
+def test_summary_without_faults_is_empty_but_well_formed():
+    built = build_two_region_network(nodes_per_region=3)
+    traffic = TrafficMatrix.two_region(
+        built.west_ids, built.east_ids, inter_region_bps=60_000.0
+    )
+    simulation = NetworkSimulation(
+        built.network, HopNormalizedMetric(), traffic,
+        ScenarioConfig(duration_s=30.0, warmup_s=5.0, seed=1,
+                       faults=FaultPlan()),
+    )
+    report = simulation.run()
+    summary = report.resilience
+    assert summary["fault_count"] == 0
+    assert summary["faults"] == []
+    assert summary["mean_reconverge_s"] == 0.0
+    assert summary["min_delivery_fraction"] is None
+    assert summary["flap_transitions"] == 0
+
+
+def test_reports_without_fault_plans_carry_no_summary():
+    built = build_two_region_network(nodes_per_region=3)
+    traffic = TrafficMatrix.two_region(
+        built.west_ids, built.east_ids, inter_region_bps=60_000.0
+    )
+    simulation = NetworkSimulation(
+        built.network, HopNormalizedMetric(), traffic,
+        ScenarioConfig(duration_s=30.0, warmup_s=5.0, seed=1),
+    )
+    report = simulation.run()
+    assert report.resilience is None

@@ -1,0 +1,206 @@
+"""Tests for :func:`run_many`'s graceful-degradation features.
+
+The acceptance story: a sweep poisoned with one doomed spec still
+returns every other report in ``on_error="collect"`` mode, still raises
+a :class:`RunFailedError` naming the guilty spec by default, survives
+worker *crashes* (not just exceptions), and abandons hung runs under a
+``timeout_s`` budget.  The ``_poison-*`` scenarios are test-only
+builders that fail deterministically, kill their process, or hang.
+"""
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+from repro.sim import (
+    BatchResult,
+    RunFailedError,
+    RunFailure,
+    RunSpec,
+    ScenarioConfig,
+    run_many,
+    run_spec,
+)
+
+_GOOD = [
+    RunSpec("two-region-hnspf", ScenarioConfig(
+        duration_s=30.0, warmup_s=5.0, seed=seed,
+    ))
+    for seed in (1, 2, 3)
+]
+
+
+def _asdicts(reports):
+    return [dataclasses.asdict(report) for report in reports]
+
+
+def test_poison_scenarios_are_hidden_from_users():
+    from repro.sim.scenarios import scenario_names
+
+    assert all(not name.startswith("_") for name in scenario_names())
+
+
+def test_collect_mode_returns_partial_results_serially():
+    specs = _GOOD[:2] + [RunSpec("_poison-fail", ScenarioConfig(seed=77))]
+    batch = run_many(specs, processes=1, on_error="collect")
+    assert isinstance(batch, BatchResult)
+    assert not batch.ok
+    assert len(batch.reports) == 2
+    assert batch.results[2] is None  # slot-aligned with the inputs
+    [failure] = batch.failures
+    assert isinstance(failure, RunFailure)
+    assert (failure.index, failure.scenario, failure.seed) == \
+        (2, "_poison-fail", 77)
+    assert failure.attempts == 1
+    assert "poison scenario" in failure.error
+    assert "Traceback" in failure.traceback  # full worker traceback kept
+    with pytest.raises(RunFailedError):
+        batch.raise_first()
+
+
+def test_collect_mode_failure_record_round_trips():
+    batch = run_many(
+        [_GOOD[0], RunSpec("_poison-fail", ScenarioConfig(seed=4))],
+        processes=1, on_error="collect",
+    )
+    [failure] = batch.failures
+    record = failure.to_dict()
+    assert record["scenario"] == "_poison-fail"
+    assert record["seed"] == 4
+    error = failure.to_error()
+    assert error.scenario == "_poison-fail"
+    assert "seed=4" in str(error)
+
+
+def test_clean_collect_batch_matches_raise_mode():
+    specs = _GOOD[:2]
+    batch = run_many(specs, processes=1, on_error="collect")
+    assert batch.ok
+    batch.raise_first()  # no-op on a clean batch
+    assert _asdicts(batch.reports) == \
+        _asdicts(run_many(specs, processes=1))
+
+
+def test_run_many_validates_resilience_arguments():
+    with pytest.raises(ValueError, match="on_error"):
+        run_many([], on_error="ignore")
+    with pytest.raises(ValueError, match="retries"):
+        run_many([], retries=-1)
+    with pytest.raises(ValueError, match="timeout"):
+        run_many([], timeout_s=0.0)
+
+
+def test_multiline_cause_survives_pickling_with_traceback():
+    """Worker tracebacks reach the parent verbatim through the pool's
+    exception pickling (exception *chaining* does not pickle)."""
+    cause = (
+        "Traceback (most recent call last):\n"
+        '  File "x.py", line 1, in f\n'
+        "ValueError: boom"
+    )
+    error = RunFailedError("aug87", 7, cause)
+    clone = pickle.loads(pickle.dumps(error))
+    assert clone.cause == cause
+    assert clone.summary == "ValueError: boom"
+    assert "worker traceback" in str(clone)
+    assert str(clone) == str(error)
+
+
+def test_worker_trace_dir_naming(tmp_path):
+    """A directory-valued ``trace`` yields ``trace-<seed>.jsonl`` files."""
+    trace_dir = str(tmp_path / "traces")
+    specs = [
+        RunSpec("two-region-hnspf", ScenarioConfig(
+            duration_s=20.0, warmup_s=5.0, seed=seed,
+            trace=trace_dir + os.sep,
+        ))
+        for seed in (6, 7)
+    ]
+    run_many(specs, processes=1)
+    assert sorted(os.listdir(trace_dir)) == \
+        ["trace-6.jsonl", "trace-7.jsonl"]
+    # An existing directory works without the trailing separator too.
+    spec = RunSpec("two-region-hnspf", ScenarioConfig(
+        duration_s=20.0, warmup_s=5.0, seed=8, trace=trace_dir,
+    ))
+    run_spec(spec)
+    assert "trace-8.jsonl" in os.listdir(trace_dir)
+    # A plain file path still lands exactly where it was pointed.
+    file_path = str(tmp_path / "one.jsonl")
+    run_spec(RunSpec("two-region-hnspf", ScenarioConfig(
+        duration_s=20.0, warmup_s=5.0, seed=9, trace=file_path,
+    )))
+    assert os.path.exists(file_path)
+
+
+@pytest.mark.slow
+def test_pool_collect_mode_returns_partial_results():
+    specs = _GOOD + [RunSpec("_poison-fail", ScenarioConfig(seed=77))]
+    batch = run_many(specs, processes=2, on_error="collect")
+    assert len(batch.reports) == 3
+    [failure] = batch.failures
+    assert (failure.scenario, failure.seed) == ("_poison-fail", 77)
+    assert "Traceback" in failure.traceback
+    # The completed runs match their serial equivalents exactly.
+    assert _asdicts(batch.reports) == \
+        _asdicts(run_many(_GOOD, processes=1))
+
+
+@pytest.mark.slow
+def test_pool_crash_is_attributed_in_collect_mode():
+    """``os._exit`` kills the worker; collect mode still finishes."""
+    specs = _GOOD + [RunSpec("_poison-exit", ScenarioConfig(seed=13))]
+    batch = run_many(specs, processes=2, on_error="collect")
+    assert len(batch.reports) == 3
+    [failure] = batch.failures
+    assert (failure.scenario, failure.seed) == ("_poison-exit", 13)
+    assert failure.attempts == 1
+
+
+@pytest.mark.slow
+def test_pool_crash_raises_run_failed_error_by_default():
+    """Even on the fast chunked path, a dead worker must be translated
+    into a RunFailedError naming the spec, not a bare pool traceback."""
+    specs = _GOOD + [RunSpec("_poison-exit", ScenarioConfig(seed=13))]
+    with pytest.raises(RunFailedError) as excinfo:
+        run_many(specs, processes=2)
+    assert excinfo.value.scenario == "_poison-exit"
+    assert excinfo.value.seed == 13
+
+
+@pytest.mark.slow
+def test_retries_re_execute_transient_failures():
+    """A crashing spec is retried ``retries`` times before finalizing."""
+    specs = [_GOOD[0], RunSpec("_poison-exit", ScenarioConfig(seed=5))]
+    batch = run_many(
+        specs, processes=2, on_error="collect",
+        retries=1, retry_backoff_s=0.0,
+    )
+    [failure] = batch.failures
+    assert failure.attempts == 2
+    assert len(batch.reports) == 1
+
+
+@pytest.mark.slow
+def test_deterministic_failures_are_never_retried():
+    specs = [_GOOD[0], RunSpec("_poison-fail", ScenarioConfig(seed=5))]
+    batch = run_many(
+        specs, processes=2, on_error="collect",
+        retries=3, retry_backoff_s=0.0,
+    )
+    [failure] = batch.failures
+    assert failure.attempts == 1  # an in-run exception is final
+
+
+@pytest.mark.slow
+def test_timeout_abandons_hung_runs():
+    specs = _GOOD[:2] + [RunSpec("_poison-hang", ScenarioConfig(seed=3))]
+    batch = run_many(
+        specs, processes=2, on_error="collect", timeout_s=3.0,
+    )
+    assert len(batch.reports) == 2
+    [failure] = batch.failures
+    assert failure.scenario == "_poison-hang"
+    assert "TimeoutError" in failure.error

@@ -84,6 +84,44 @@ def test_experiments_runner_observability_flags(capsys, tmp_path):
     assert "merged telemetry" in out or "no in-process runs" in out
 
 
+def test_simulate_with_fault_plan_and_invariants(capsys, tmp_path):
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(
+        '{"events": ['
+        '{"at_s": 15.0, "action": "fail-circuit", "link_id": 24},'
+        '{"at_s": 25.0, "action": "restore-circuit", "link_id": 24}]}'
+    )
+    assert main([
+        "simulate", "--scenario", "two-region-hnspf",
+        "--duration", "40", "--faults", str(plan_path),
+        "--check-invariants", "--resilience-summary",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "resilience summary" in out
+    assert '"fault_count": 2' in out
+    assert "invariants: all checks passed" in out
+
+
+def test_resilience_summary_without_faults_notes_the_gap(capsys):
+    assert main([
+        "simulate", "--scenario", "two-region-dspf",
+        "--duration", "20", "--resilience-summary",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "no resilience summary" in out
+
+
+def test_example_fault_plan_is_loadable():
+    import pathlib
+
+    from repro.faults import load_fault_plan
+
+    path = (pathlib.Path(__file__).resolve().parent.parent
+            / "examples" / "faultplans" / "stochastic-flap.json")
+    plan = load_fault_plan(str(path))
+    assert plan.events and plan.flaps
+
+
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
