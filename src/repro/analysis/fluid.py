@@ -103,7 +103,15 @@ class FluidNetworkModel:
         self.costs = CostTable(
             [float(metric.initial_cost(link)) for link in network.links]
         )
+        # Per-source SPF trees persist across rounds: each round applies
+        # the (usually small) cost diff to every tree with one batched
+        # update_costs() repair instead of rebuilding from scratch.
+        # ``_tree_costs`` snapshots the table the trees currently
+        # reflect; ``_tree_topology`` forces a rebuild after any link
+        # up/down flip, which incremental repair does not model.
         self._trees: Optional[Dict[int, SpfTree]] = None
+        self._tree_costs: Optional[List[float]] = None
+        self._tree_topology: int = -1
         # Vectorized fast path: metrics with a struct-of-arrays pipeline
         # sweep every link in a handful of numpy passes per round.  The
         # two paths are bit-identical per link (the vector pipeline is
@@ -127,13 +135,43 @@ class FluidNetworkModel:
     # One routing period
     # ------------------------------------------------------------------
     def route_demands(self) -> Dict[int, float]:
-        """Route every demand on current costs; return per-link load."""
+        """Route every demand on current costs; return per-link load.
+
+        The per-source trees are *carried* between rounds: the current
+        cost table is diffed against the one the trees last saw and the
+        changes are applied to every tree in one batched
+        :meth:`~repro.routing.spf.SpfTree.update_costs` pass.  The
+        canonical tie-break makes repaired and rebuilt trees bit
+        identical, so this is pure speed.  Trees are rebuilt from
+        scratch only when the topology itself changed (a link flipped
+        up or down).
+        """
         sources = {src for (src, _dst) in self.traffic.demands}
-        trees = {
-            src: SpfTree(self.network, src, self.costs.copy())
-            for src in sources
-        }
-        self._trees = trees
+        trees = self._trees
+        version = self.network.topology_version
+        if (
+            trees is None
+            or self._tree_topology != version
+            or set(trees) != sources
+        ):
+            trees = {
+                src: SpfTree(self.network, src, self.costs.copy())
+                for src in sources
+            }
+            self._trees = trees
+            self._tree_topology = version
+        else:
+            snapshot = self._tree_costs
+            current = self.costs.costs
+            changes = [
+                (link_id, cost)
+                for link_id, cost in enumerate(current)
+                if cost != snapshot[link_id]
+            ]
+            if changes:
+                for tree in trees.values():
+                    tree.update_costs(changes)
+        self._tree_costs = list(self.costs.costs)
         load: Dict[int, float] = {
             link.link_id: 0.0 for link in self.network.links
         }

@@ -70,11 +70,22 @@ class CalendarQueue:
     entry is ``bucket[0]`` and insert/remove run in C; the Python-level
     work per operation is just the forward scan over (mostly empty)
     buckets.
+
+    Pushes are **staged**: :meth:`push` only appends to a plain list,
+    and entries are hashed into their buckets lazily, in bulk, the next
+    time the queue is consulted (:meth:`pop`, :meth:`peek_time`).  A
+    pushed entry can only ever be popped *after* the operation that
+    pushed it, so deferring the bucket insert to the next consultation
+    is observationally identical to inserting immediately -- and it
+    makes the enqueue side pure C (:attr:`stage` is the staging list's
+    bound ``append``), which is what lets the event loop schedule
+    millions of calls without a Python frame per push.
     """
 
     __slots__ = (
         "_buckets", "_nbuckets", "_width", "_size",
         "_cursor_base", "_expand_at", "_shrink_at", "resizes",
+        "_staged", "stage",
     )
 
     #: Never shrink below this many buckets.
@@ -87,13 +98,18 @@ class CalendarQueue:
         #: lifetime; a telemetry counter -- resizes are rare, so the
         #: increment never shows up in profiles.
         self.resizes = 0
+        #: Entries pushed but not yet hashed into buckets.  The list
+        #: object is permanent (cleared, never replaced), so the bound
+        #: ``stage`` append below stays valid for the queue's lifetime.
+        self._staged: List[tuple] = []
+        #: C-speed push: ``stage(entry)`` is ``list.append``.
+        self.stage = self._staged.append
         self._spread(self.MIN_BUCKETS, max(width, 1e-12), 0.0)
         if entries:
-            for entry in entries:
-                self.push(entry)
+            self._staged.extend(entries)
 
     def __len__(self) -> int:
-        return self._size
+        return self._size + len(self._staged)
 
     def __repr__(self) -> str:
         return (
@@ -156,19 +172,34 @@ class CalendarQueue:
     # Queue operations
     # ------------------------------------------------------------------
     def push(self, entry: tuple) -> None:
-        """Insert ``entry``; O(1) amortized."""
-        base = int(entry[0] / self._width)
-        heapq.heappush(self._buckets[base % self._nbuckets], entry)
-        self._size += 1
-        if base < self._cursor_base:
-            # Earlier than the current scan position: rewind so the
-            # forward scan can never walk past it.
-            self._cursor_base = base
+        """Insert ``entry``; O(1) (staged -- see the class docstring)."""
+        self._staged.append(entry)
+
+    def _drain(self) -> None:
+        """Hash every staged entry into its bucket (bulk, heappush in C)."""
+        staged = self._staged
+        buckets = self._buckets
+        n = self._nbuckets
+        width = self._width
+        cursor = self._cursor_base
+        heappush = heapq.heappush
+        for entry in staged:
+            base = int(entry[0] / width)
+            heappush(buckets[base % n], entry)
+            if base < cursor:
+                # Earlier than the current scan position: rewind so the
+                # forward scan can never walk past it.
+                cursor = base
+        self._cursor_base = cursor
+        self._size += len(staged)
+        staged.clear()
         if self._size > self._expand_at:
             self._resize(self._nbuckets * 2)
 
     def pop(self) -> tuple:
         """Remove and return the least ``(time, seq)`` entry."""
+        if self._staged:
+            self._drain()
         if not self._size:
             raise IndexError("pop from an empty CalendarQueue")
         base = self._find()
@@ -181,6 +212,8 @@ class CalendarQueue:
 
     def peek_time(self) -> float:
         """Time of the least entry without removing it."""
+        if self._staged:
+            self._drain()
         if not self._size:
             return float("inf")
         base = self._find()
@@ -283,7 +316,9 @@ class Simulator:
         """Migrate all pending entries onto the calendar queue."""
         self._calendar = CalendarQueue(self._queue)
         self._queue = []
-        self._push = self._calendar.push
+        # The queue's staged push *is* list.append: enqueueing costs no
+        # Python frame, in or out of the event loop.
+        self._push = self._calendar.stage
 
     @property
     def active_scheduler(self) -> str:
@@ -482,48 +517,29 @@ class Simulator:
     def _run_calendar(self, until: Optional[float]) -> None:
         """The calendar-queue event loop: same semantics, bucketed pops.
 
-        Both halves of the per-event queue traffic are inlined, because
-        at millions of events per run the Python calls they save are the
-        difference between the calendar keeping pace with the C heap and
-        losing to it:
-
-        * **pop** -- the common case of CalendarQueue.pop() (scan to the
-          first due bucket, pop its heap head in C) runs inline; the
-          rare far-future layout falls back to the method.
-        * **push** -- while the loop runs, ``self._push`` is a plain
-          ``list.append`` onto a staging list, drained into the buckets
-          at the top of each iteration.  A pushed entry can only ever be
-          popped on a *later* iteration than the one that pushed it, so
-          deferring the bucket insert to the next iteration's drain is
-          observationally identical to pushing immediately.
+        The pop side of the per-event queue traffic is inlined, because
+        at millions of events per run the Python calls it saves are the
+        difference between the calendar keeping pace with the C heap
+        and losing to it: the common case of CalendarQueue.pop() (drain
+        staged pushes, scan to the first due bucket, pop its heap head
+        in C) runs inline; the rare far-future layout falls back to the
+        method.  The push side needs no loop-local treatment at all --
+        ``self._push`` is the queue's own staged C-speed append
+        (:attr:`CalendarQueue.stage`), and a callback that raises simply
+        leaves its pushes staged, where the next consultation drains
+        them.
         """
         calendar = self._calendar
         pop = calendar.pop
+        drain = calendar._drain
+        staged = calendar._staged
         heappop = heapq.heappop
-        heappush = heapq.heappush
         bounded = until is not None
         processed = 0
-        staging: List[tuple] = []
-        self._push = staging.append
         try:
-            while calendar._size or staging:
-                if staging:
-                    # Inline drain: identical to CalendarQueue.push(),
-                    # minus one Python call per entry.
-                    buckets = calendar._buckets
-                    n = calendar._nbuckets
-                    width = calendar._width
-                    cursor = calendar._cursor_base
-                    for entry in staging:
-                        b = int(entry[0] / width)
-                        heappush(buckets[b % n], entry)
-                        if b < cursor:
-                            cursor = b
-                    calendar._cursor_base = cursor
-                    calendar._size += len(staging)
-                    staging.clear()
-                    if calendar._size > calendar._expand_at:
-                        calendar._resize(calendar._nbuckets * 2)
+            while calendar._size or staged:
+                if staged:
+                    drain()
                 # Inline fast path: identical to CalendarQueue.pop().
                 buckets = calendar._buckets
                 n = calendar._nbuckets
@@ -567,11 +583,6 @@ class Simulator:
         finally:
             self._events_processed += processed
             self.calendar_events_processed += processed
-            self._push = calendar.push
-            for entry in staging:
-                # Only reachable when a callback raised mid-iteration:
-                # hand any stranded entries back before unwinding.
-                calendar.push(entry)
 
     def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
         """Run until ``event`` triggers; return its value.

@@ -53,6 +53,11 @@ class RunTelemetry:
     flood_accepted: int = 0
     flood_duplicates: int = 0
     flood_forwarded: int = 0
+    #: Redundant forwards avoided by per-neighbour sequence windows
+    #: (flood-time skips + wire-time drops; 0 with windows off).
+    flood_duplicates_avoided: int = 0
+    #: Window entries evicted to stay under the per-neighbour bound.
+    flood_window_evictions: int = 0
 
     # -- SPF cache ------------------------------------------------------
     cache_table_hits: int = 0
@@ -159,6 +164,10 @@ class RunTelemetry:
             telemetry.flood_accepted += flood.accepted
             telemetry.flood_duplicates += flood.duplicates
             telemetry.flood_forwarded += flood.forwarded
+            telemetry.flood_duplicates_avoided += (
+                flood.suppressed_flood + flood.suppressed_wire
+            )
+            telemetry.flood_window_evictions += flood.window_evictions
         cache = simulation.spf_cache
         if cache is not None:
             telemetry.cache_table_hits = cache.stats.table_hits

@@ -41,6 +41,10 @@ UPDATE_ACCEPTED = "update-accepted"
 UPDATE_SUPPRESSED = "update-suppressed"
 #: An update was forwarded onward; ``value`` is the number of links.
 UPDATE_FLOODED = "update-flooded"
+#: A queued update was dropped unsent -- the neighbour provably already
+#: has it (per-neighbour sequence windows; ``data["on"]`` is the link it
+#: would have crossed).
+FLOOD_SUPPRESSED = "flood-suppressed"
 #: An incremental SPF repair ran; ``value`` is 1.0 if the tree changed.
 SPF_RECOMPUTE = "spf-recompute"
 #: A batched SPF repair pass ran; ``value`` is the changes absorbed.
@@ -72,6 +76,7 @@ EVENT_KINDS = (
     UPDATE_ACCEPTED,
     UPDATE_SUPPRESSED,
     UPDATE_FLOODED,
+    FLOOD_SUPPRESSED,
     SPF_RECOMPUTE,
     SPF_BATCH_REPAIR,
     CIRCUIT_FAIL,

@@ -76,7 +76,8 @@ class LinkTransmitter:
         "_bandwidth_bps", "_propagation_s", "busy_s",
         "bits_sent", "data_bits_sent", "data_packets_sent",
         "control_packets_sent", "update_packets_sent", "drops",
-        "on_delay_sample", "_start_next_b", "_finish_b", "_launch_b",
+        "on_delay_sample", "suppress_update", "updates_suppressed",
+        "_start_next_b", "_finish_b", "_launch_b",
         "_arrive_b", "_call_in", "_call_soon",
     )
 
@@ -123,6 +124,13 @@ class LinkTransmitter:
         self.drops = 0
         #: Delay samples are reported here; installed by the owning PSN.
         self.on_delay_sample: Optional[Callable[[float], None]] = None
+        #: Wire-time flood suppression (incremental flooding only).
+        #: Called with a head-of-line routing-update packet just before
+        #: it would transmit; returning True drops it unsent -- the
+        #: owning PSN's sequence windows prove the neighbour already has
+        #: it (its own copy crossed ours while we sat in the queue).
+        self.suppress_update: Optional[Callable[[Packet], bool]] = None
+        self.updates_suppressed = 0
         # Pre-bound stage callbacks: each packet passes through all four,
         # so the per-call bound-method allocation is worth avoiding.
         self._start_next_b = self._start_next
@@ -177,6 +185,13 @@ class LinkTransmitter:
         while True:
             if control:
                 packet = control.popleft()
+                if (
+                    self.suppress_update is not None
+                    and packet.kind is _ROUTING_UPDATE
+                    and self.suppress_update(packet)
+                ):
+                    self.updates_suppressed += 1
+                    continue
             elif data:
                 packet = data.popleft()
             else:

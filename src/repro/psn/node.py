@@ -22,6 +22,7 @@ from repro.metrics.base import LinkMetric
 from repro.metrics.queueing import service_time_s
 from repro.obs.profiler import PhaseProfiler, instrument_psn
 from repro.obs.tracer import (
+    FLOOD_SUPPRESSED,
     SPF_BATCH_REPAIR,
     SPF_RECOMPUTE,
     UPDATE_ACCEPTED,
@@ -66,6 +67,13 @@ ACK_PACKET_BITS = 200.0
 #: declared dead.
 UPDATE_RETRANSMIT_S = 1.0
 
+#: Incremental flooding: how long the deferring side of a circuit holds
+#: a flood forward, in units of one-way control flight time
+#: (serialization + propagation + processing).  Two flights let the
+#: peer's symmetric copy -- sent when ours was decided -- arrive and
+#: plant the suppression proof before ours hits the wire.
+FLOOD_DEFER_FLIGHTS = 2.0
+
 _packet_ids = count()
 
 
@@ -99,11 +107,22 @@ class Psn:
         tree is next consulted (a forwarding decision), instead of one
         incremental repair per update.  Routing-update *bursts* -- a
         flood reaching this node while it has no data packet in flight --
-        then cost one Dijkstra pass instead of many.  The batched repair
-        may break equal-cost ties differently than sequential per-update
-        repair (both are valid shortest-path trees), so this defaults
-        off and scenarios enable it only at scale.  Ignored under
-        multipath, whose router recomputes per update anyway.
+        then cost one Dijkstra pass instead of many.  Batched and
+        per-update repair share the canonical smallest-link-id tie-break
+        (see :mod:`repro.routing.spf`), so the resulting trees are bit
+        identical and scenarios enable batching by default.  Ignored
+        under multipath, whose router recomputes per update anyway.
+    incremental_flooding:
+        Maintain per-neighbour sequence windows and suppress provably
+        redundant update forwards, at flood time and at wire time (see
+        :mod:`repro.routing.flooding`).  On each circuit the higher-id
+        endpoint additionally *defers* its forwards by one cross-flight
+        time, so the peer's symmetric copy -- which would otherwise
+        cross ours in flight -- arrives first and plants the
+        suppression proof.  Every node still learns every cost change;
+        reliable delivery is untouched (no proof means send), but the
+        flood stops delivering each update over every circuit twice.
+        Scenarios auto-enable this at the large-network threshold.
     tracer:
         Optional :class:`~repro.obs.tracer.Tracer` recording this node's
         control-plane events (update generation, flood forwarding,
@@ -132,6 +151,7 @@ class Psn:
         flow_control_window: Optional[int] = None,
         spf_cache: Optional[SpfCache] = None,
         batched_spf: bool = False,
+        incremental_flooding: bool = False,
         tracer: Optional[Tracer] = None,
         profiler: Optional[PhaseProfiler] = None,
     ) -> None:
@@ -156,7 +176,13 @@ class Psn:
             )
 
         self.costs = CostTable.from_metric(network, metric)
-        self.flooding = FloodingState(network, node_id)
+        self.flooding = FloodingState(
+            network, node_id, neighbor_windows=incremental_flooding
+        )
+        self._incremental_flooding = incremental_flooding
+        #: Forward hold time per deferring out-link (see below); empty
+        #: with incremental flooding off.
+        self._defer_s: Dict[int, float] = {}
         self._metric_state: Dict[int, object] = {}
         self._averager: Dict[int, DelayAverager] = {}
         self._criterion: Dict[int, SignificanceCriterion] = {}
@@ -171,6 +197,19 @@ class Psn:
             initial = metric.initial_cost(link)
             self.costs[link_id] = float(initial)
             self._advertised[link_id] = initial
+            if incremental_flooding:
+                transmitter.suppress_update = \
+                    self._make_wire_suppressor(link_id)
+                if node_id > link.dst:
+                    # Deferring side of this circuit: hold forwards for
+                    # two cross-flight times (serialization + propagation
+                    # + processing, both ways) so the peer's copy of the
+                    # same update can arrive and prove itself redundant.
+                    self._defer_s[link_id] = FLOOD_DEFER_FLIGHTS * (
+                        UPDATE_PACKET_BITS / link.bandwidth_bps
+                        + link.propagation_s
+                        + PROCESSING_DELAY_S
+                    )
 
         self.tree = SpfTree(network, node_id, self.costs)
         # Hot-path forwarding: a flat next-hop table compiled from the
@@ -180,10 +219,16 @@ class Psn:
         self._forwarding: Optional[list] = None
         # Batched SPF repair: updates land in this buffer and are applied
         # in one update_costs pass when the tree is next consulted.  None
-        # means per-update (eager) repair.
+        # means per-update (eager) repair.  The *cost table* is written
+        # eagerly either way -- only the tree repair lags -- so reading
+        # ``psn.costs`` never depends on when this node last forwarded a
+        # packet; ``_pending_old`` remembers each buffered link's
+        # pre-batch cost so the flush can hand ``update_costs`` the true
+        # before/after diff.
         self._pending_updates: Optional[list] = (
             [] if (batched_spf and multipath_mode is None) else None
         )
+        self._pending_old: Dict[int, float] = {}
         # Optional extension: equal-cost multipath forwarding (the
         # remedy the paper's section 4.5 cites for few-large-flows
         # traffic).  The router shares our cost table and is rebuilt
@@ -365,6 +410,18 @@ class Psn:
         # Acknowledge on the reverse link -- duplicates too, since the
         # duplicate usually means our earlier ACK was lost.
         self._send_ack(update, via)
+        if self._incremental_flooding:
+            # The neighbour forwarded this, so it has it: remember that
+            # (window), and treat it as an implicit ack for any older
+            # copy of the same key still awaiting retransmission toward
+            # that neighbour -- its information is superseded anyway.
+            sent_on = via.reverse_id
+            self.flooding.note_received(sent_on, update)
+            if sent_on is not None:
+                pending = self._unacked.get((sent_on, update.key()))
+                if pending is not None and \
+                        pending[0].sequence <= update.sequence:
+                    del self._unacked[(sent_on, update.key())]
         if not self.flooding.accept(update):
             if self._trace is not None:
                 self._trace.emit(
@@ -407,6 +464,7 @@ class Psn:
         pending = self._unacked.get((sent_on, update.key()))
         if pending is not None and pending[0].sequence <= update.sequence:
             del self._unacked[(sent_on, update.key())]
+        self.flooding.note_acked(sent_on, update)
 
     def _retransmit_tick(self) -> None:
         if not self._unacked:
@@ -439,6 +497,13 @@ class Psn:
         if not pending:
             return
         self._pending_updates = []
+        # The table already holds the batch's final costs (written
+        # eagerly as updates arrived); rewind it to the pre-batch values
+        # so the repair pass computes the same old -> new diff it would
+        # have seen unbatched, then let it write the finals back.
+        for link_id, old_cost in self._pending_old.items():
+            self.costs[link_id] = old_cost
+        self._pending_old.clear()
         if self._trace is not None:
             self._trace.emit(
                 self.sim.now, SPF_BATCH_REPAIR,
@@ -450,6 +515,9 @@ class Psn:
     def _apply_update(self, update: RoutingUpdate) -> None:
         cost = UNREACHABLE if update.cost >= DOWN_COST else float(update.cost)
         if self._pending_updates is not None:
+            if update.link_id not in self._pending_old:
+                self._pending_old[update.link_id] = self.costs[update.link_id]
+            self.costs[update.link_id] = cost
             self._pending_updates.append((update.link_id, cost))
             return
         if self._trace is not None:
@@ -469,9 +537,16 @@ class Psn:
             self.router.recompute()
 
     def _flood(self, update: RoutingUpdate, arrived_on: Optional[int]) -> None:
-        links = self.flooding.forward_links(arrived_on)
+        links = self.flooding.forward_links(arrived_on, update=update)
+        defer = self._defer_s
         for link_id in links:
-            self._transmit_update(update, link_id)
+            hold_s = defer.get(link_id)
+            if hold_s is None:
+                self._transmit_update(update, link_id)
+            else:
+                self.sim.call_in(
+                    hold_s, self._transmit_deferred, update, link_id
+                )
         if self._trace is not None:
             self._trace.emit(
                 self.sim.now, UPDATE_FLOODED,
@@ -493,7 +568,70 @@ class Psn:
         # A newer update for the same (origin, link) supersedes any
         # older one still awaiting its ACK on this link.
         self._unacked[(link_id, update.key())] = (update, self.sim.now)
+        self.flooding.note_sent(link_id, update)
         self.transmitters[link_id].send(packet)
+
+    def _transmit_deferred(self, update: RoutingUpdate, link_id: int) -> None:
+        """A held flood-forward came due: send unless now provably moot.
+
+        While we held it, the neighbour's own copy (or its ack) may have
+        arrived and proven possession; a newer update for the same key
+        may also have gone out on this link, superseding ours.  Either
+        way the transmission is redundant and is skipped; otherwise it
+        proceeds exactly as an immediate forward would have.
+        """
+        if not self.network.link(link_id).up:
+            # The link died during the hold; its advertise(DOWN) path
+            # already flushed the queue, and the neighbour re-syncs on
+            # recovery.  (An immediate forward would have been flushed
+            # or dropped at the dead wire the same way.)
+            return
+        flooding = self.flooding
+        key = update.key()
+        sequence = update.sequence
+        if flooding.neighbor_seq(link_id, key) >= sequence:
+            flooding.stats.suppressed_flood += 1
+            if self._trace is not None:
+                self._trace.emit(
+                    self.sim.now, FLOOD_SUPPRESSED,
+                    node=self.node_id, link=update.link_id,
+                    data={"origin": update.origin, "on": link_id},
+                )
+            return
+        sent = flooding._sent_to.get(link_id)
+        if sent is not None and sent.get(key, 0) >= sequence:
+            flooding.stats.suppressed_flood += 1
+            return
+        self._transmit_update(update, link_id)
+
+    def _make_wire_suppressor(self, link_id: int):
+        """Dequeue-time suppression check for one transmitter.
+
+        During a flood the control queues run long; by the time a queued
+        update reaches the head of the line, the neighbour's own copy has
+        often crossed it in the other direction.  The windows then prove
+        the transmission redundant: drop it, and retire any pending
+        retransmission state it covered (the same proof an ACK gives).
+        """
+        def suppress(packet: Packet) -> bool:
+            update = packet.update
+            key = update.key()
+            known = self.flooding.neighbor_seq(link_id, key)
+            if known < update.sequence:
+                return False
+            self.flooding.stats.suppressed_wire += 1
+            pending = self._unacked.get((link_id, key))
+            if pending is not None and pending[0].sequence <= known:
+                del self._unacked[(link_id, key)]
+            if self._trace is not None:
+                self._trace.emit(
+                    self.sim.now, FLOOD_SUPPRESSED,
+                    node=self.node_id, link=update.link_id,
+                    data={"origin": update.origin, "on": link_id},
+                )
+            return True
+
+        return suppress
 
     # ------------------------------------------------------------------
     # Link failure / recovery

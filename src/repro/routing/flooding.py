@@ -11,6 +11,20 @@ Rosen's updating protocol [Rosen 1980].
 to forward); the DES-side transmission and per-hop delay live in
 :mod:`repro.psn`.  Keeping the protocol pure makes it unit-testable
 without a simulator.
+
+**Per-neighbor sequence windows** (the large-network fast path): with
+``neighbor_windows=True`` the state additionally remembers, per outgoing
+link, the highest sequence number *sent to* and *provably held by* the
+neighbour for each ``(origin, link)`` update key -- fed by received
+updates (the neighbour forwarded it, so it has it) and by its explicit
+acknowledgements.  A node then never re-forwards an update the
+neighbour demonstrably already has: once at flood time
+(:meth:`forward_links`), and again at wire time just before a queued
+update would transmit (see ``LinkTransmitter.suppress_update``), which
+is where the boot flood's long control backlogs make cross-arrivals
+common.  Windows are bounded (FIFO eviction, counted); a missing entry
+never suppresses -- absence of proof means *send*, so reliability is
+untouched.
 """
 
 from __future__ import annotations
@@ -19,6 +33,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.topology.graph import Network
+
+#: Per-neighbour window bound: update keys remembered per outgoing link.
+#: 1024 keys cover every (origin, link) pair of a 512-node network's
+#: region of interest; beyond that, oldest entries fall off (safe: an
+#: evicted key just loses its suppression proof).
+WINDOW_KEYS_PER_NEIGHBOR = 1024
 
 
 @dataclass(frozen=True)
@@ -57,6 +77,14 @@ class FloodingStats:
     accepted: int = 0
     duplicates: int = 0
     forwarded: int = 0
+    #: Forwards skipped at flood time because the target neighbour is the
+    #: update's origin or its window already proves possession.
+    suppressed_flood: int = 0
+    #: Queued updates dropped at wire time (the neighbour's own copy
+    #: crossed ours while we sat in the control queue).
+    suppressed_wire: int = 0
+    #: Window entries discarded to stay under the per-neighbour bound.
+    window_evictions: int = 0
 
 
 class FloodingState:
@@ -68,13 +96,33 @@ class FloodingState:
         Shared topology (used to enumerate forwarding links).
     node_id:
         The owning PSN.
+    neighbor_windows:
+        Maintain per-neighbour sequence windows and use them to suppress
+        provably redundant forwards (see the module docstring).  Off by
+        default: the paper-sized scenarios keep the classic protocol,
+        bit for bit.
+    window_limit:
+        Maximum update keys remembered per outgoing link.
     """
 
-    def __init__(self, network: Network, node_id: int) -> None:
+    def __init__(
+        self,
+        network: Network,
+        node_id: int,
+        neighbor_windows: bool = False,
+        window_limit: int = WINDOW_KEYS_PER_NEIGHBOR,
+    ) -> None:
         self.network = network
         self.node_id = node_id
         self._highest_seen: Dict[Tuple[int, int], int] = {}
         self._own_sequence: Dict[int, int] = {}
+        self.neighbor_windows = neighbor_windows
+        self._window_limit = window_limit
+        #: link id -> {update key -> highest sequence the neighbour
+        #: provably has} (from its forwards and its acks).
+        self._neighbor_has: Dict[int, Dict[Tuple[int, int], int]] = {}
+        #: link id -> {update key -> highest sequence sent that way}.
+        self._sent_to: Dict[int, Dict[Tuple[int, int], int]] = {}
         self.stats = FloodingStats()
 
     # ------------------------------------------------------------------
@@ -113,19 +161,107 @@ class FloodingState:
         self.stats.accepted += 1
         return True
 
-    def forward_links(self, arrived_on: Optional[int]) -> List[int]:
+    def forward_links(
+        self,
+        arrived_on: Optional[int],
+        update: Optional[RoutingUpdate] = None,
+    ) -> List[int]:
         """Link ids an accepted update must be re-flooded on.
 
         Every up link out of this node except the reverse of the link it
         arrived on (sending it straight back is pure waste; other
-        duplicates are caught by sequence numbers).
+        duplicates are caught by sequence numbers).  With neighbour
+        windows enabled and the ``update`` supplied, links whose
+        neighbour provably already has it -- it *is* the origin, it
+        forwarded this sequence to us, or it acknowledged it -- are
+        suppressed too.
         """
         excluded = None
         if arrived_on is not None:
             excluded = self.network.link(arrived_on).reverse_id
         links = []
-        for link in self.network.out_links(self.node_id):
-            if link.link_id != excluded:
-                links.append(link.link_id)
+        if update is None or not self.neighbor_windows:
+            for link in self.network.out_links(self.node_id):
+                if link.link_id != excluded:
+                    links.append(link.link_id)
+        else:
+            key = update.key()
+            sequence = update.sequence
+            origin = update.origin
+            for link in self.network.out_links(self.node_id):
+                link_id = link.link_id
+                if link_id == excluded:
+                    continue
+                if link.dst == origin:
+                    # The originator has its own update by definition.
+                    self.stats.suppressed_flood += 1
+                    continue
+                if self.neighbor_seq(link_id, key) >= sequence:
+                    self.stats.suppressed_flood += 1
+                    continue
+                sent = self._sent_to.get(link_id)
+                if sent is not None and sent.get(key, 0) >= sequence:
+                    # Already sent (and still retransmitting until
+                    # acked): reliable delivery covers the neighbour.
+                    self.stats.suppressed_flood += 1
+                    continue
+                links.append(link_id)
         self.stats.forwarded += len(links)
         return links
+
+    # ------------------------------------------------------------------
+    # Per-neighbour sequence windows
+    # ------------------------------------------------------------------
+    def _note(
+        self,
+        table: Dict[int, Dict[Tuple[int, int], int]],
+        link_id: int,
+        key: Tuple[int, int],
+        sequence: int,
+    ) -> None:
+        window = table.get(link_id)
+        if window is None:
+            window = table[link_id] = {}
+        current = window.get(key)
+        if current is None:
+            if len(window) >= self._window_limit:
+                # FIFO eviction: drop the oldest-learned key.  Losing an
+                # entry only loses a suppression opportunity.
+                del window[next(iter(window))]
+                self.stats.window_evictions += 1
+            window[key] = sequence
+        elif sequence > current:
+            window[key] = sequence
+
+    def note_received(
+        self, link_id: Optional[int], update: RoutingUpdate
+    ) -> None:
+        """The neighbour behind ``link_id`` forwarded ``update`` to us."""
+        if not self.neighbor_windows or link_id is None:
+            return
+        self._note(self._neighbor_has, link_id, update.key(), update.sequence)
+
+    def note_acked(
+        self, link_id: Optional[int], update: RoutingUpdate
+    ) -> None:
+        """The neighbour behind ``link_id`` acknowledged ``update``."""
+        if not self.neighbor_windows or link_id is None:
+            return
+        self._note(self._neighbor_has, link_id, update.key(), update.sequence)
+
+    def note_sent(self, link_id: int, update: RoutingUpdate) -> None:
+        """We queued ``update`` for transmission on ``link_id``."""
+        if not self.neighbor_windows:
+            return
+        self._note(self._sent_to, link_id, update.key(), update.sequence)
+
+    def neighbor_seq(self, link_id: int, key: Tuple[int, int]) -> int:
+        """Highest sequence the neighbour provably has for ``key``.
+
+        0 when nothing is known (sequence numbers start at 1, so 0 never
+        suppresses anything).
+        """
+        window = self._neighbor_has.get(link_id)
+        if window is None:
+            return 0
+        return window.get(key, 0)

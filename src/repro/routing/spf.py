@@ -13,6 +13,18 @@ update, and counts how much work each update costs (the Table-1 "PSN CPU
 utilization" proxy).  Correctness of the incremental path is property-
 tested against full recomputation.
 
+**Canonical tie-breaking.**  Where several equal-cost shortest paths
+exist, every code path -- full recompute, per-link incremental repair,
+and the batched multi-link repair -- resolves the tie the same way:
+each node's parent is the *smallest link id* among its tight in-links
+(links ``u -> v`` with ``dist[u] + cost == dist[v]``).  Distances are a
+pure function of the cost table, so with this rule the whole tree is
+too: applying the same cost changes one at a time, in one batch, or by
+recomputing from scratch yields bit-identical trees.  That is what lets
+the simulator run batched SPF repair by default without perturbing the
+per-update goldens, and what makes shared forwarding tables (keyed only
+by cost fingerprint) exact rather than merely tie-equivalent.
+
 Costs are floats so the analysis package can sweep costs in fractional
 hops; the operational simulator feeds integer routing units.  Down links
 have cost ``inf``.
@@ -206,6 +218,13 @@ class SpfTree:
                     self.dist[link.dst] = candidate
                     self.parent_link[link.dst] = link.link_id
                     heapq.heappush(heap, (candidate, next(sequence), link.dst))
+                elif candidate == self.dist[link.dst]:
+                    # Canonical tie-break: smallest tight link id.  Every
+                    # settled node relaxes its out-links, so every tight
+                    # in-link of every node gets compared here.
+                    current = self.parent_link[link.dst]
+                    if current is not None and link.link_id < current:
+                        self.parent_link[link.dst] = link.link_id
 
     # ------------------------------------------------------------------
     # Incremental update
@@ -242,6 +261,14 @@ class SpfTree:
                 self.stats.incremental_updates += 1
                 self._propagate_improvement(link_id)
                 return True
+            if base + new_cost == self.dist[link.dst]:
+                # The decrease created an exact tie: no distance moves,
+                # but the canonical (min-link-id) parent may switch.
+                current = self.parent_link[link.dst]
+                if current is not None and link_id < current:
+                    self.parent_link[link.dst] = link_id
+                    self.stats.incremental_updates += 1
+                    return True
             self.stats.no_op_updates += 1
             return False
 
@@ -259,11 +286,11 @@ class SpfTree:
 
         ``changes`` is an iterable of ``(link_id, new_cost)`` pairs (the
         last write wins when a link appears twice).  Semantically this is
-        a batched routing interval: the tree afterwards is a valid
-        shortest-path tree under the new costs -- property-tested equal
-        in distances to a full :meth:`recompute` -- but where several
-        equal-cost routes exist it may break ties differently than
-        applying the same changes one :meth:`update_cost` at a time.
+        a batched routing interval: the tree afterwards is **bit
+        identical** to applying the same changes one :meth:`update_cost`
+        at a time, or to a full :meth:`recompute` -- all three resolve
+        equal-cost ties with the canonical smallest-link-id rule (see
+        the module docstring), and this equivalence is property-tested.
 
         The pass generalizes the single-link cases: all increased tree
         links detach one *union* subtree, which is re-seeded across its
@@ -331,6 +358,7 @@ class SpfTree:
         heap: List = []
         sequence = count()
         moved = bool(detached)
+        touched: Set[int] = set(detached)
 
         # Re-seed detached nodes from every link crossing the boundary.
         for node in detached:
@@ -347,8 +375,7 @@ class SpfTree:
                     parent[node] = link.link_id
                     heapq.heappush(heap, (candidate, next(sequence), node))
 
-        # Relax every decreased link directly (strict improvement only,
-        # matching update_cost's tie behaviour).
+        # Relax every decreased link directly.
         for link_id in decreased:
             link = network.link(link_id)
             base = dist[link.src]
@@ -359,8 +386,16 @@ class SpfTree:
             if candidate < dist[link.dst]:
                 dist[link.dst] = candidate
                 parent[link.dst] = link_id
+                touched.add(link.dst)
                 heapq.heappush(heap, (candidate, next(sequence), link.dst))
                 moved = True
+            elif candidate == dist[link.dst]:
+                # The decrease made this link exactly tight: the
+                # canonical (min-link-id) parent may switch.
+                current = parent[link.dst]
+                if current is not None and link_id < current:
+                    parent[link.dst] = link_id
+                    moved = True
 
         if not heap and not moved:
             self.stats.no_op_updates += 1
@@ -381,7 +416,13 @@ class SpfTree:
                 if candidate < dist[out.dst]:
                     dist[out.dst] = candidate
                     parent[out.dst] = out.link_id
+                    touched.add(out.dst)
                     heapq.heappush(heap, (candidate, next(sequence), out.dst))
+                elif candidate == dist[out.dst]:
+                    current = parent[out.dst]
+                    if current is not None and out.link_id < current:
+                        parent[out.dst] = out.link_id
+        self._canonicalize_parents(touched)
         return True
 
     def _propagate_improvement(self, link_id: int) -> None:
@@ -389,6 +430,7 @@ class SpfTree:
         link = self.network.link(link_id)
         heap: List = []
         sequence = count()
+        touched: List[int] = []
         candidate = self.dist[link.src] + self.costs[link_id]
         if candidate < self.dist[link.dst] or (
             self.parent_link.get(link.dst) == link_id
@@ -396,6 +438,7 @@ class SpfTree:
         ):
             self.dist[link.dst] = candidate
             self.parent_link[link.dst] = link_id
+            touched.append(link.dst)
             heapq.heappush(heap, (candidate, next(sequence), link.dst))
         while heap:
             d, _seq, node = heapq.heappop(heap)
@@ -410,7 +453,15 @@ class SpfTree:
                 if cand < self.dist[out.dst]:
                     self.dist[out.dst] = cand
                     self.parent_link[out.dst] = out.link_id
+                    touched.append(out.dst)
                     heapq.heappush(heap, (cand, next(sequence), out.dst))
+                elif cand == self.dist[out.dst]:
+                    # A new tie into a node whose distance is unchanged:
+                    # its canonical parent is min(old parent, this link).
+                    current = self.parent_link[out.dst]
+                    if current is not None and out.link_id < current:
+                        self.parent_link[out.dst] = out.link_id
+        self._canonicalize_parents(touched)
 
     def _reattach_subtree(self, subtree_root: int) -> None:
         """Recompute distances for the subtree hanging off ``subtree_root``.
@@ -454,6 +505,48 @@ class SpfTree:
                     self.dist[out.dst] = candidate
                     self.parent_link[out.dst] = out.link_id
                     heapq.heappush(heap, (candidate, next(sequence), out.dst))
+                elif candidate == self.dist[out.dst]:
+                    current = self.parent_link[out.dst]
+                    if current is not None and out.link_id < current:
+                        self.parent_link[out.dst] = out.link_id
+        self._canonicalize_parents(subtree)
+
+    def _canonicalize_parents(self, nodes) -> None:
+        """Re-derive the canonical parent for ``nodes`` from final dists.
+
+        The inline tie-comparisons in the relaxation loops keep parents
+        canonical for nodes whose distance never changed, but a node
+        whose distance *moved* can be tight through an in-link whose
+        source was never rescanned in that pass.  Tightness is a pure
+        function of distances and costs, so one sweep over the moved
+        nodes -- picking the smallest tight in-link id -- restores the
+        global invariant at O(moved * degree).
+        """
+        if not nodes:
+            return
+        _out_adj, in_adj = self._static_adjacency()
+        dist = self.dist
+        costs = self.costs
+        for node in nodes:
+            if node == self.root:
+                continue
+            d = dist[node]
+            if math.isinf(d):
+                self.parent_link[node] = None
+                continue
+            best: Optional[int] = None
+            for link in in_adj[node]:
+                if not link.up:
+                    continue
+                lid = link.link_id
+                if best is not None and lid >= best:
+                    continue
+                cost = costs[lid]
+                if math.isinf(cost):
+                    continue
+                if dist[link.src] + cost == d:
+                    best = lid
+            self.parent_link[node] = best
 
     def _static_adjacency(self) -> Tuple[Dict[int, List], Dict[int, List]]:
         """Per-node outgoing and incoming :class:`Link` lists, cached.

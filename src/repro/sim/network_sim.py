@@ -89,12 +89,20 @@ class ScenarioConfig:
     scheduler: Optional[str] = None
     #: Batch routing updates per SPF repair: pending cost changes are
     #: applied in one ``SpfTree.update_costs`` pass when the tree is next
-    #: consulted, instead of one incremental repair per update.  ``None``
-    #: (auto) enables it on networks of >= ``BATCHED_SPF_MIN_NODES``
-    #: nodes.  Batching may break equal-cost ties differently than
-    #: per-update repair (both are valid shortest paths), so paper-sized
-    #: golden scenarios keep the per-update path.
+    #: consulted, instead of one incremental repair per update.  Batched
+    #: and per-update repair share the canonical smallest-link-id
+    #: tie-break (see :mod:`repro.routing.spf`), so they build bit-
+    #: identical trees and ``None`` (auto) now means **on** at every
+    #: network size -- including the paper-sized golden scenarios.
+    #: ``False`` keeps the per-update path for A/B verification.
     batched_spf: Optional[bool] = None
+    #: Incremental flooding: per-neighbour sequence windows suppress
+    #: update forwards the neighbour provably already has, at flood time
+    #: and at wire time (see :mod:`repro.routing.flooding`).  ``None``
+    #: (auto) enables it on networks of >= ``LARGE_NETWORK_MIN_NODES``
+    #: nodes, where duplicate update forwarding dominates event counts;
+    #: the paper-sized scenarios keep the classic protocol bit for bit.
+    incremental_flooding: Optional[bool] = None
     #: Structured event tracing (see :mod:`repro.obs`): ``None`` (off --
     #: the zero-overhead default, no sink is even allocated), ``"memory"``
     #: (in-memory ring), ``"null"`` (enabled, events discarded), a file
@@ -155,8 +163,14 @@ class ScenarioConfig:
             )
 
 
-#: Auto-enable batched SPF repair on networks at least this large.
-BATCHED_SPF_MIN_NODES = 128
+#: Auto-enable the large-network control-plane fast paths (incremental
+#: flooding) on networks at least this big.  Batched SPF repair used to
+#: share this gate; with canonical tie-breaking it is simply on by
+#: default everywhere.
+LARGE_NETWORK_MIN_NODES = 128
+
+#: Backward-compatible alias (batched SPF's old auto-enable threshold).
+BATCHED_SPF_MIN_NODES = LARGE_NETWORK_MIN_NODES
 
 
 class NetworkSimulation:
@@ -222,7 +236,12 @@ class NetworkSimulation:
         }
         batched_spf = self.config.batched_spf
         if batched_spf is None:
-            batched_spf = len(network.nodes) >= BATCHED_SPF_MIN_NODES
+            batched_spf = True
+        incremental_flooding = self.config.incremental_flooding
+        if incremental_flooding is None:
+            incremental_flooding = (
+                len(network.nodes) >= LARGE_NETWORK_MIN_NODES
+            )
         self.psns: Dict[int, Psn] = {
             node.node_id: Psn(
                 self.sim,
@@ -243,6 +262,7 @@ class NetworkSimulation:
                 flow_control_window=self.config.flow_control_window,
                 spf_cache=self.spf_cache,
                 batched_spf=batched_spf,
+                incremental_flooding=incremental_flooding,
                 tracer=self.tracer,
                 profiler=self.profiler,
             )

@@ -96,3 +96,35 @@ class TestArpanetScale:
         the single-link model predicts for its mean offered load."""
         mean_u = traces["HN-SPF"].tail_mean_utilization()
         assert 0.05 < mean_u < 0.6
+
+
+def test_persistent_trees_match_rebuilt_trees():
+    """Carrying SPF trees between rounds (batched update_costs repair)
+    is bit-identical to rebuilding every tree from scratch -- the
+    canonical tie-break makes the tree a pure function of the costs."""
+    net = build_arpanet_1987()
+    traffic = TrafficMatrix.gravity(net, 366_000.0, weights=site_weights())
+    persistent = FluidNetworkModel(net, DelayMetric(), traffic)
+    rebuilt = FluidNetworkModel(
+        build_arpanet_1987(), DelayMetric(),
+        TrafficMatrix.gravity(net, 366_000.0, weights=site_weights()),
+    )
+    for index in range(25):
+        fast = persistent.step(index)
+        rebuilt._trees = None  # drop the carried trees: full rebuild
+        assert fast == rebuilt.step(index)
+
+
+def test_trees_rebuild_after_topology_change():
+    """A link flip invalidates carried trees (repair can't model it)."""
+    net = build_ring_network(4)
+    traffic = TrafficMatrix.uniform(net, total_bps=40_000.0)
+    model = FluidNetworkModel(net, HopNormalizedMetric(), traffic)
+    model.step(0)
+    victim = net.links_between(0, 1)[0]
+    net.set_circuit_state(victim.link_id, False)
+    load = model.route_demands()
+    assert load[victim.link_id] == 0.0
+    net.set_circuit_state(victim.link_id, True)
+    load = model.route_demands()
+    assert load[victim.link_id] > 0.0

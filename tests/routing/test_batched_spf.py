@@ -1,11 +1,12 @@
 """Batched multi-link SPF repair: ``SpfTree.update_costs``.
 
-The batched pass promises a valid shortest-path tree after absorbing an
-arbitrary mix of cost increases and decreases in one scan.  The
-property test drives it with random topologies and random deltas and
-checks the resulting *distances* against a from-scratch Dijkstra --
-distances, not parent pointers, because the batch is allowed to break
-equal-cost ties differently than per-link application.
+The batched pass promises the *bit-identical* shortest-path tree after
+absorbing an arbitrary mix of cost increases and decreases in one scan:
+every repair path resolves equal-cost ties with the canonical
+smallest-link-id rule, making the tree a pure function of the cost
+table.  The property test drives it with random topologies and random
+deltas and checks distances *and* parent pointers against a
+from-scratch Dijkstra.
 """
 
 import math
@@ -72,13 +73,14 @@ def test_mixed_batch_matches_recompute():
         costs[link_id] = cost
     fresh = _tree(network, costs)
     assert tree.dist == fresh.dist
+    assert tree.parent_link == fresh.parent_link
     _assert_valid_tree(tree, network, costs)
     assert tree.stats.batched_passes == 1
     assert tree.stats.batched_changes == len(changes)
 
 
 # ----------------------------------------------------------------------
-# Property: batched repair == full recompute, in distances
+# Property: batched repair == full recompute, bit for bit
 # ----------------------------------------------------------------------
 @settings(max_examples=60, deadline=None)
 @given(data=st.data())
@@ -116,5 +118,6 @@ def test_update_costs_equals_recompute(data):
     fresh = _tree(network, final)
 
     assert tree.dist == fresh.dist
+    assert tree.parent_link == fresh.parent_link
     assert list(tree.costs.costs) == final
     _assert_valid_tree(tree, network, final)

@@ -1,0 +1,57 @@
+"""Batched SPF repair is bit-identical to per-update repair.
+
+Batching buffers a routing-update burst and repairs the SPF tree with
+one :meth:`~repro.routing.spf.SpfTree.update_costs` pass instead of one
+incremental repair per update.  Since both paths resolve equal-cost
+ties with the canonical smallest-link-id rule (see
+:mod:`repro.routing.spf`), the trees they produce are the same pure
+function of the cost table -- so batching is default-on everywhere,
+including the 57-node paper scenarios.
+
+This is the acceptance test for that claim: every golden paper case is
+replayed with ``batched_spf`` forced on and off, and the two runs must
+agree on the *entire* behavioural fingerprint -- the full simulation
+report, the reported-cost history, and every node's final shortest-path
+tree (parent link and distance per destination), bit for bit.
+"""
+
+import dataclasses
+import hashlib
+
+import pytest
+
+from tests.golden.cases import CASES
+
+
+def _fingerprint(name, batched):
+    simulation, report = CASES[name](batched_spf=batched)
+    digest = hashlib.sha256()
+    for when, link_id, cost in simulation.stats.cost_history:
+        digest.update(f"{when!r}:{link_id}:{cost};".encode())
+    trees = {}
+    for node_id, psn in simulation.psns.items():
+        psn.flush_pending_updates()
+        tree = psn.tree
+        trees[node_id] = {
+            dst: (tree.parent_link.get(dst), tree.dist.get(dst))
+            for dst in simulation.network.nodes
+        }
+    return {
+        "report": dataclasses.asdict(report),
+        "cost_history": digest.hexdigest(),
+        "trees": trees,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_batched_spf_matches_per_update(name):
+    batched = _fingerprint(name, batched=True)
+    per_update = _fingerprint(name, batched=False)
+    assert batched["cost_history"] == per_update["cost_history"], (
+        f"{name}: reported-cost dynamics diverge under batching"
+    )
+    assert batched["report"] == per_update["report"]
+    for node_id, tree in batched["trees"].items():
+        assert tree == per_update["trees"][node_id], (
+            f"{name}: node {node_id} final SPF tree diverges under batching"
+        )

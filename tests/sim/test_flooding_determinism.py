@@ -1,0 +1,66 @@
+"""Cross-scheduler determinism of the incremental-flooding fast path.
+
+The flood-suppression machinery is timing-sensitive by design: wire-time
+suppression races queued updates against the neighbour's crossing copy,
+and the per-circuit deferral schedules forwards through ``call_in``.  If
+either backend popped those events in a different order the suppression
+decisions -- and with them the update traffic -- would diverge.  This
+test runs the large-network scenario that auto-enables the fast path
+(rand256 crosses the ``LARGE_NETWORK_MIN_NODES`` threshold) once per
+scheduler backend and requires the two runs to be bit-identical: same
+report, same reported-cost history, same final routing tables, and the
+same suppression counters.
+"""
+
+import dataclasses
+import hashlib
+
+import pytest
+
+from repro.des.engine import Simulator
+from repro.sim import build_scenario
+
+
+def _run(scheduler, monkeypatch):
+    monkeypatch.setattr(Simulator, "DEFAULT_SCHEDULER", scheduler)
+    simulation = build_scenario("rand256", duration_s=3.0, warmup_s=2.0,
+                                seed=3)
+    # The whole point of this test: the fast path must be on.
+    assert simulation.psns[0]._incremental_flooding
+    report = simulation.run()
+    digest = hashlib.sha256()
+    for when, link_id, cost in simulation.stats.cost_history:
+        digest.update(f"{when!r}:{link_id}:{cost};".encode())
+    tables = {}
+    suppressed = 0
+    for node_id, psn in simulation.psns.items():
+        psn.flush_pending_updates()
+        tables[node_id] = {
+            dst: psn.tree.next_hop_link(dst)
+            for dst in simulation.network.nodes
+        }
+        suppressed += (
+            psn.flooding.stats.suppressed_flood
+            + psn.flooding.stats.suppressed_wire
+        )
+    assert suppressed > 0, "fast path ran but suppressed nothing"
+    return {
+        "report": dataclasses.asdict(report),
+        "cost_history": digest.hexdigest(),
+        "tables": tables,
+        "suppressed": suppressed,
+        "duplicates_avoided": report.telemetry.flood_duplicates_avoided,
+    }
+
+
+@pytest.mark.slow
+def test_flooding_fast_path_identical_on_both_schedulers(monkeypatch):
+    heap = _run("heap", monkeypatch)
+    calendar = _run("calendar", monkeypatch)
+    assert heap["cost_history"] == calendar["cost_history"], (
+        "flood suppression diverged between heap and calendar schedulers"
+    )
+    assert heap["report"] == calendar["report"]
+    assert heap["tables"] == calendar["tables"]
+    assert heap["suppressed"] == calendar["suppressed"]
+    assert heap["duplicates_avoided"] == calendar["duplicates_avoided"]
