@@ -67,15 +67,24 @@ def cmd_simulate(args) -> int:
         from repro.faults import load_fault_plan
 
         faults = load_fault_plan(args.faults)
+    trace = args.trace
+    if args.chrome_trace and not trace:
+        # Chrome-trace export needs events; keep them in memory when no
+        # JSONL trace was asked for.
+        trace = "memory"
+    metrics = args.metrics_out
+    if metrics is None and args.metrics_prom:
+        metrics = "memory"
     config = ScenarioConfig(
         duration_s=args.duration,
         warmup_s=min(args.duration / 4.0, 60.0),
         seed=args.seed,
         multipath=args.multipath,
-        trace=args.trace,
+        trace=trace,
         profile=args.profile,
         faults=faults,
         check_invariants=args.check_invariants,
+        metrics=metrics,
     )
     if args.scenario:
         simulation = build_scenario(args.scenario, config=config)
@@ -114,6 +123,28 @@ def cmd_simulate(args) -> int:
     if args.trace:
         tracer = simulation.tracer
         print(f"\ntrace: {tracer.events_emitted} events -> {args.trace}")
+    if args.chrome_trace:
+        from repro.obs.spans import write_chrome_trace
+
+        if trace == "memory":
+            events = simulation.tracer.events()
+        else:
+            from repro.report import read_trace
+
+            events = read_trace(trace)
+        phase_wall_s = (
+            report.telemetry.phase_wall_s if report.telemetry else None
+        )
+        write_chrome_trace(args.chrome_trace, events, phase_wall_s)
+        print(f"\nchrome trace ({len(events)} events) -> "
+              f"{args.chrome_trace}")
+    if args.metrics_out:
+        print(f"\nmetrics: {simulation.meters.samples_taken} snapshots -> "
+              f"{args.metrics_out}")
+    if args.metrics_prom:
+        with open(args.metrics_prom, "w") as handle:
+            handle.write(simulation.meters.to_prometheus())
+        print(f"\nprometheus exposition -> {args.metrics_prom}")
     if args.telemetry or args.profile:
         print()
         print(_telemetry_table(report.telemetry))
@@ -257,6 +288,18 @@ def main(argv: Optional[list] = None) -> int:
     p_simulate.add_argument("--resilience-summary", action="store_true",
                             help="print per-fault reconvergence/delivery "
                                  "JSON (needs --faults)")
+    p_simulate.add_argument("--chrome-trace", default=None, metavar="PATH",
+                            help="export the event trace as Chrome "
+                                 "trace-event JSON (Perfetto-loadable); "
+                                 "records an in-memory trace if --trace "
+                                 "was not given")
+    p_simulate.add_argument("--metrics-out", default=None, metavar="PATH",
+                            help="sample live metrics each measurement "
+                                 "interval and write JSONL snapshots to "
+                                 "PATH (see docs/observability.md)")
+    p_simulate.add_argument("--metrics-prom", default=None, metavar="PATH",
+                            help="write the final metrics registry in "
+                                 "Prometheus text exposition to PATH")
     p_simulate.set_defaults(handler=cmd_simulate)
 
     p_experiment = commands.add_parser(

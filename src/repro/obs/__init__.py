@@ -20,11 +20,34 @@ pieces:
 * **profiling hooks** (:mod:`repro.obs.profiler`) -- exclusive
   per-phase wall-time attribution (scheduling / SPF / forwarding /
   measurement / stats) behind the ``profile=True`` scenario flag.
+* **causal spans** (:mod:`repro.obs.spans`) -- per-update flood trees
+  reconstructed from lineage-tagged trace events: propagation-latency
+  distributions, fan-out, convergence times, Chrome-trace export.
+* **live metrics** (:mod:`repro.obs.meters`) -- a deterministic
+  counter/gauge/histogram registry with a periodic sampler, Prometheus
+  text exposition and JSONL snapshots, behind
+  ``ScenarioConfig(metrics=...)``.
+* **streaming fleet telemetry** (:mod:`repro.obs.streaming`) --
+  incremental delta aggregation and progress monitoring for
+  ``run_many(..., stream=...)``.
 
 See ``docs/observability.md`` for the event schema, sink
 configuration, and the overhead guarantees.
 """
 
+from repro.obs.meters import (
+    LATENCY_BUCKETS_S,
+    UTILIZATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MeterRegistry,
+    SimulationMeters,
+    build_meters,
+    counter_timeseries,
+    read_snapshots_jsonl,
+    write_snapshots_jsonl,
+)
 from repro.obs.profiler import (
     PHASE_FORWARDING,
     PHASE_MEASUREMENT,
@@ -34,6 +57,22 @@ from repro.obs.profiler import (
     PhaseProfiler,
     instrument_psn,
     instrument_stats,
+)
+from repro.obs.spans import (
+    UpdateSpan,
+    build_update_spans,
+    convergence_episodes,
+    convergence_times,
+    latency_histogram,
+    propagation_latencies,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.streaming import (
+    FleetResult,
+    ProgressMonitor,
+    StreamAggregator,
+    StreamConfig,
 )
 from repro.obs.telemetry import RunTelemetry, merge_telemetry
 from repro.obs.tracer import (
@@ -46,6 +85,7 @@ from repro.obs.tracer import (
     SPF_BATCH_REPAIR,
     SPF_RECOMPUTE,
     UPDATE_ACCEPTED,
+    UPDATE_ACKED,
     UPDATE_FLOODED,
     UPDATE_GENERATED,
     UPDATE_SUPPRESSED,
@@ -64,6 +104,7 @@ __all__ = [
     "CIRCUIT_RESTORE",
     "COST_CHANGE",
     "EVENT_KINDS",
+    "LATENCY_BUCKETS_S",
     "NULL_TRACER",
     "PACKET_DROP",
     "PHASE_FORWARDING",
@@ -74,20 +115,43 @@ __all__ = [
     "SPF_BATCH_REPAIR",
     "SPF_RECOMPUTE",
     "UPDATE_ACCEPTED",
+    "UPDATE_ACKED",
     "UPDATE_FLOODED",
     "UPDATE_GENERATED",
     "UPDATE_SUPPRESSED",
     "UTILIZATION",
+    "UTILIZATION_BUCKETS",
+    "Counter",
+    "FleetResult",
+    "Gauge",
+    "Histogram",
     "JsonlSink",
+    "MeterRegistry",
     "NullSink",
     "PhaseProfiler",
+    "ProgressMonitor",
     "RingSink",
     "RunTelemetry",
+    "SimulationMeters",
+    "StreamAggregator",
+    "StreamConfig",
     "TraceEvent",
     "Tracer",
+    "UpdateSpan",
+    "build_meters",
     "build_tracer",
+    "build_update_spans",
+    "convergence_episodes",
+    "convergence_times",
+    "counter_timeseries",
     "events_to_dicts",
     "instrument_psn",
     "instrument_stats",
+    "latency_histogram",
     "merge_telemetry",
+    "propagation_latencies",
+    "read_snapshots_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_snapshots_jsonl",
 ]

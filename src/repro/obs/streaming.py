@@ -1,0 +1,204 @@
+"""Streaming fleet telemetry: incremental aggregation for ``run_many``.
+
+The batch path pickles a whole :class:`~repro.sim.stats.SimulationReport`
+per run back to the master -- fine for a handful of replications,
+wasteful for a parameter sweep where the caller only wants aggregate
+telemetry and a progress read-out.  The streaming path
+(``run_many(..., stream=...)``) has workers push small messages through
+a managed queue instead:
+
+* ``("started", index)`` when a spec begins,
+* ``("delta", index, telemetry_delta)`` at each checkpoint -- a
+  :class:`~repro.obs.telemetry.RunTelemetry` block holding only the
+  counter *increments* since the previous checkpoint (``runs`` is 1 on
+  the first delta of a run and 0 after, so fleet totals count runs
+  exactly once),
+* ``("completed", index, payload)`` / ``("failed", index, info)`` at
+  the end.
+
+This module is the master side: :class:`StreamAggregator` folds deltas
+into a fleet-wide telemetry total with a per-run breakdown, and
+:class:`ProgressMonitor` tracks completed/failed counts with a
+wall-clock ETA and an optional single-line terminal status display.
+Both are plain incremental reducers -- no multiprocessing imports here,
+so the module stays importable everywhere (including workers).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TextIO
+
+from repro.obs.telemetry import RunTelemetry
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Tuning for a streaming ``run_many`` call.
+
+    Attributes
+    ----------
+    checkpoint_s:
+        Simulation-time interval between worker telemetry deltas.
+        ``None`` sends a single delta at the end of each run (cheapest;
+        progress events still flow per run).  The checkpoint timer's
+        callback only reads counters, so checkpointed runs produce
+        bit-identical *reports*; the kernel event counters
+        (``events_processed`` etc.) do count the checkpoint timer's own
+        ticks -- with ``None`` the fleet telemetry matches the batch
+        path's :func:`~repro.sim.parallel.combined_telemetry` exactly
+        (modulo wall time).
+    status_line:
+        Render a live ``\\r``-rewritten status line on stderr while the
+        fleet runs (off by default: tests and CI logs want clean
+        output).
+    """
+
+    checkpoint_s: Optional[float] = None
+    status_line: bool = False
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_s is not None and self.checkpoint_s <= 0:
+            raise ValueError(
+                f"checkpoint_s must be positive: {self.checkpoint_s}"
+            )
+
+
+class ProgressMonitor:
+    """Fleet progress: counts, rate, ETA, optional status line.
+
+    Wall-clock timing lives here (and only here) -- it feeds the ETA
+    display, never results, so streaming runs stay deterministic where
+    it matters.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        status_line: bool = False,
+        stream: Optional[TextIO] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if total < 0:
+            raise ValueError(f"total must be >= 0: {total}")
+        self.total = total
+        self.started = 0
+        self.completed = 0
+        self.failed = 0
+        self._status_line = status_line
+        self._stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._t0 = clock()
+        self._line_open = False
+
+    @property
+    def finished(self) -> int:
+        return self.completed + self.failed
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.finished
+
+    @property
+    def elapsed_s(self) -> float:
+        return self._clock() - self._t0
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Estimated wall seconds to finish (``None`` before any data)."""
+        if self.finished == 0 or self.remaining == 0:
+            return None if self.remaining else 0.0
+        return self.elapsed_s / self.finished * self.remaining
+
+    # ------------------------------------------------------------------
+    def note_started(self, index: int) -> None:
+        self.started += 1
+        self._render()
+
+    def note_completed(self, index: int) -> None:
+        self.completed += 1
+        self._render()
+
+    def note_failed(self, index: int) -> None:
+        self.failed += 1
+        self._render()
+
+    def status(self) -> str:
+        """One-line summary, e.g. ``runs 3/8 done, 1 failed, eta 2.1s``."""
+        parts = [f"runs {self.finished}/{self.total} done"]
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        eta = self.eta_s
+        if eta is not None and self.remaining:
+            parts.append(f"eta {eta:.1f}s")
+        return ", ".join(parts)
+
+    def _render(self) -> None:
+        if not self._status_line:
+            return
+        self._stream.write("\r\x1b[K" + self.status())
+        self._stream.flush()
+        self._line_open = True
+
+    def close(self) -> None:
+        """Terminate the status line (if one was being rendered)."""
+        if self._line_open:
+            self._stream.write("\n")
+            self._stream.flush()
+            self._line_open = False
+
+
+class StreamAggregator:
+    """Folds worker telemetry deltas into fleet and per-run totals.
+
+    The reducer is incremental: each delta merges into the fleet total
+    as it arrives, so memory stays O(runs) in small per-run blocks and
+    the fleet aggregate is readable at any moment mid-flight.  Because
+    :meth:`RunTelemetry.merge` is associative and commutative, the
+    final total is independent of delta arrival order.
+    """
+
+    def __init__(self) -> None:
+        self.total: Optional[RunTelemetry] = None
+        self._per_run: Dict[int, RunTelemetry] = {}
+        self.deltas_received = 0
+
+    def add_delta(self, index: int, delta: RunTelemetry) -> None:
+        """Fold one worker delta into the aggregate."""
+        self.deltas_received += 1
+        existing = self._per_run.get(index)
+        self._per_run[index] = (
+            delta if existing is None else existing.merge(delta)
+        )
+        self.total = delta if self.total is None else self.total.merge(delta)
+
+    def run_telemetry(self, index: int) -> Optional[RunTelemetry]:
+        """The merged telemetry of one run (``None`` if no deltas yet)."""
+        return self._per_run.get(index)
+
+    def per_run(self) -> Dict[int, RunTelemetry]:
+        """All per-run merged blocks, keyed by spec index."""
+        return dict(self._per_run)
+
+
+@dataclass
+class FleetResult:
+    """What a streaming ``run_many`` returns.
+
+    ``reports`` holds rebuilt :class:`~repro.sim.stats.SimulationReport`
+    objects in spec order (``None`` where that spec failed and failures
+    are being collected).  ``telemetry`` is the incrementally reduced
+    fleet total -- the streaming counterpart of
+    :func:`~repro.sim.parallel.combined_telemetry`.
+    """
+
+    reports: List[object]
+    failures: List[object]
+    telemetry: Optional[RunTelemetry]
+    progress: ProgressMonitor
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures

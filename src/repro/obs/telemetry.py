@@ -88,6 +88,8 @@ class RunTelemetry:
     # -- observability itself ------------------------------------------
     #: Trace events emitted (0 for disabled runs).
     trace_events: int = 0
+    #: Metrics snapshots taken (0 with ``metrics=None``).
+    meter_samples: int = 0
 
     # -- wall time ------------------------------------------------------
     #: Wall seconds spent inside :meth:`NetworkSimulation.run`.
@@ -110,6 +112,33 @@ class RunTelemetry:
             phases[phase] = phases.get(phase, 0.0) + seconds
         merged.phase_wall_s = phases
         return merged
+
+    def diff(self, earlier: "RunTelemetry") -> "RunTelemetry":
+        """The increment from ``earlier`` to this block.
+
+        The streaming fleet path checkpoints a run by collecting
+        telemetry repeatedly and shipping only what changed:
+        ``later.diff(earlier)`` is the delta block such that merging
+        every delta of a run reproduces its final telemetry.  ``runs``
+        diffs like any other field, so the first delta of a run (diffed
+        against an empty ``RunTelemetry(runs=0)``) carries ``runs=1``
+        and later deltas carry ``runs=0`` -- fleet totals count each
+        run exactly once.  ``events_pending`` (the one non-monotonic
+        counter) may legitimately go negative in a delta; sums still
+        reconstruct the final value.
+        """
+        delta = RunTelemetry()
+        for name, value in asdict(self).items():
+            if name == "phase_wall_s":
+                continue
+            setattr(delta, name, value - getattr(earlier, name))
+        phases = dict(self.phase_wall_s)
+        for phase, seconds in earlier.phase_wall_s.items():
+            phases[phase] = phases.get(phase, 0.0) - seconds
+        delta.phase_wall_s = {
+            phase: seconds for phase, seconds in phases.items() if seconds
+        }
+        return delta
 
     def to_dict(self) -> Dict:
         """Plain-dict form (JSON-ready)."""
@@ -190,6 +219,9 @@ class RunTelemetry:
         if monitor is not None:
             telemetry.invariant_checks = monitor.checks_run
             telemetry.invariant_violations = len(monitor.violations)
+        meters = getattr(simulation, "meters", None)
+        if meters is not None:
+            telemetry.meter_samples = meters.samples_taken
         return telemetry
 
 

@@ -39,6 +39,9 @@ UPDATE_GENERATED = "update-generated"
 UPDATE_ACCEPTED = "update-accepted"
 #: A received routing update was a duplicate and suppressed.
 UPDATE_SUPPRESSED = "update-suppressed"
+#: A neighbour explicitly acknowledged an update we sent it;
+#: ``data["on"]`` is the link the update had crossed.
+UPDATE_ACKED = "update-acked"
 #: An update was forwarded onward; ``value`` is the number of links.
 UPDATE_FLOODED = "update-flooded"
 #: A queued update was dropped unsent -- the neighbour provably already
@@ -75,6 +78,7 @@ EVENT_KINDS = (
     UPDATE_GENERATED,
     UPDATE_ACCEPTED,
     UPDATE_SUPPRESSED,
+    UPDATE_ACKED,
     UPDATE_FLOODED,
     FLOOD_SUPPRESSED,
     SPF_RECOMPUTE,

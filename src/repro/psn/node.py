@@ -26,6 +26,7 @@ from repro.obs.tracer import (
     SPF_BATCH_REPAIR,
     SPF_RECOMPUTE,
     UPDATE_ACCEPTED,
+    UPDATE_ACKED,
     UPDATE_FLOODED,
     UPDATE_GENERATED,
     UPDATE_SUPPRESSED,
@@ -396,6 +397,7 @@ class Psn:
             self._trace.emit(
                 self.sim.now, UPDATE_GENERATED,
                 node=self.node_id, link=link_id, value=cost,
+                data={"origin": update.origin, "seq": update.sequence},
             )
         self._apply_update(update)
         self._flood(update, arrived_on=None)
@@ -427,14 +429,14 @@ class Psn:
                 self._trace.emit(
                     self.sim.now, UPDATE_SUPPRESSED,
                     node=self.node_id, link=update.link_id,
-                    data={"origin": update.origin},
+                    data={"origin": update.origin, "seq": update.sequence},
                 )
             return
         if self._trace is not None:
             self._trace.emit(
                 self.sim.now, UPDATE_ACCEPTED,
                 node=self.node_id, link=update.link_id, value=update.cost,
-                data={"origin": update.origin},
+                data={"origin": update.origin, "seq": update.sequence},
             )
         self._apply_update(update)
         self._flood(update, arrived_on=via.link_id)
@@ -465,6 +467,13 @@ class Psn:
         if pending is not None and pending[0].sequence <= update.sequence:
             del self._unacked[(sent_on, update.key())]
         self.flooding.note_acked(sent_on, update)
+        if self._trace is not None:
+            self._trace.emit(
+                self.sim.now, UPDATE_ACKED,
+                node=self.node_id, link=update.link_id,
+                data={"origin": update.origin, "seq": update.sequence,
+                      "on": sent_on},
+            )
 
     def _retransmit_tick(self) -> None:
         if not self._unacked:
@@ -551,7 +560,7 @@ class Psn:
             self._trace.emit(
                 self.sim.now, UPDATE_FLOODED,
                 node=self.node_id, link=update.link_id, value=len(links),
-                data={"origin": update.origin},
+                data={"origin": update.origin, "seq": update.sequence},
             )
 
     def _transmit_update(self, update: RoutingUpdate, link_id: int) -> None:
@@ -595,7 +604,8 @@ class Psn:
                 self._trace.emit(
                     self.sim.now, FLOOD_SUPPRESSED,
                     node=self.node_id, link=update.link_id,
-                    data={"origin": update.origin, "on": link_id},
+                    data={"origin": update.origin, "seq": sequence,
+                          "on": link_id},
                 )
             return
         sent = flooding._sent_to.get(link_id)
@@ -627,7 +637,8 @@ class Psn:
                 self._trace.emit(
                     self.sim.now, FLOOD_SUPPRESSED,
                     node=self.node_id, link=update.link_id,
-                    data={"origin": update.origin, "on": link_id},
+                    data={"origin": update.origin, "seq": update.sequence,
+                          "on": link_id},
                 )
             return True
 

@@ -110,6 +110,49 @@ def event_counts(events: Iterable[EventLike]) -> Dict[str, int]:
     return dict(counts)
 
 
+def propagation_latency_series(
+    events: Iterable[EventLike],
+) -> List[Tuple[float, float]]:
+    """``(accept_t, latency_s)`` for every per-node update acceptance.
+
+    The spans adapter (see :mod:`repro.obs.spans`): each point is one
+    node accepting one update, timed against that update's generation.
+    Empty for traces without lineage tags (pre-span traces) -- and a
+    single-event lineage (a generation nobody accepted) contributes no
+    points.  Plot with :func:`bucketed_rate` or feed the latencies into
+    :func:`repro.obs.spans.latency_histogram`.
+    """
+    from repro.obs.spans import build_update_spans
+
+    series: List[Tuple[float, float]] = []
+    for span in build_update_spans(_as_dicts(events)):
+        if span.generated_t is None:
+            continue
+        for t, _node in span.accepts:
+            series.append((t, t - span.generated_t))
+    series.sort(key=lambda point: point[0])
+    return series
+
+
+def convergence_timeseries(
+    events: Iterable[EventLike],
+    quiet_s: float = 5.0,
+) -> List[Tuple[float, float]]:
+    """``(start_t, duration_s)`` per convergence episode.
+
+    Delegates to :func:`repro.obs.spans.convergence_episodes`: bursts
+    of control-plane activity separated by at least ``quiet_s`` of
+    silence, each reported as its start time and time-to-quiescence.
+    Empty for an empty trace.
+    """
+    from repro.obs.spans import convergence_episodes
+
+    return [
+        (start, end - start)
+        for start, end in convergence_episodes(_as_dicts(events), quiet_s)
+    ]
+
+
 def bucketed_rate(
     series: List[Tuple[float, float]],
     bucket_s: float,

@@ -10,6 +10,12 @@
   -- deterministic fan-out of independent runs across processes.
 """
 
+from repro.obs.streaming import (
+    FleetResult,
+    ProgressMonitor,
+    StreamAggregator,
+    StreamConfig,
+)
 from repro.obs.telemetry import RunTelemetry, merge_telemetry
 from repro.sim.legacy_sim import BellmanFordSimulation
 from repro.sim.network_sim import NetworkSimulation, ScenarioConfig
@@ -31,12 +37,16 @@ __all__ = [
     "BatchResult",
     "BellmanFordSimulation",
     "DeliveryTimeline",
+    "FleetResult",
     "NetworkSimulation",
+    "ProgressMonitor",
     "RunFailedError",
     "RunFailure",
     "RunSpec",
     "RunTelemetry",
     "ScenarioConfig",
+    "StreamAggregator",
+    "StreamConfig",
     "SimulationReport",
     "StatsCollector",
     "build_scenario",

@@ -33,6 +33,7 @@ from repro.faults.invariants import InvariantMonitor
 from repro.faults.plan import FaultPlan
 from repro.metrics.base import LinkMetric
 from repro.obs import runtime as obs_runtime
+from repro.obs.meters import build_meters
 from repro.obs.profiler import PhaseProfiler, instrument_stats
 from repro.obs.telemetry import RunTelemetry
 from repro.obs.tracer import CIRCUIT_FAIL, CIRCUIT_RESTORE, Tracer, build_tracer
@@ -138,6 +139,14 @@ class ScenarioConfig:
     #: The monitor only reads simulation state; checked runs stay
     #: bit-identical to unchecked ones.
     check_invariants: object = False
+    #: Live metrics pipeline (see :mod:`repro.obs.meters`): ``None``
+    #: (off -- the zero-overhead default, nothing is allocated and no
+    #: sampler timer is scheduled), ``"memory"`` (snapshots kept on
+    #: ``simulation.meters.snapshots``), or a file path the snapshot
+    #: stream is written to as JSONL at the end of each run.  The
+    #: sampler only reads counters, so metered runs stay bit-identical
+    #: to unmetered ones.
+    metrics: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -160,6 +169,11 @@ class ScenarioConfig:
             raise ValueError(
                 f"check_invariants must be False, True, 'record' or "
                 f"'strict': {self.check_invariants!r}"
+            )
+        if self.metrics is not None and not isinstance(self.metrics, str):
+            raise ValueError(
+                f"metrics must be None, 'memory' or a path: "
+                f"{self.metrics!r}"
             )
 
 
@@ -307,6 +321,10 @@ class NetworkSimulation:
             self.invariant_monitor = InvariantMonitor(
                 self, strict=self.config.check_invariants == "strict"
             )
+        #: Live metrics pipeline (None with ``metrics=None`` -- the
+        #: zero-overhead default; the structural overhead tests assert
+        #: this).  Built last so its first sample sees every subsystem.
+        self.meters = build_meters(self, self.config.metrics)
 
     # ------------------------------------------------------------------
     # Wiring callbacks
@@ -378,6 +396,10 @@ class NetworkSimulation:
         # advertised (and a loop check on the settled trees).
         if self.invariant_monitor is not None:
             self.invariant_monitor.check_now()
+        # Final metrics sample (and JSONL flush for path specs), taken
+        # before telemetry harvest so the report counts it.
+        if self.meters is not None:
+            self.meters.finish()
         update_transmissions = sum(
             t.update_packets_sent for t in self.transmitters.values()
         )

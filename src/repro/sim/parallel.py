@@ -45,10 +45,16 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.des.random_streams import RandomStreams
+from repro.obs.streaming import (
+    FleetResult,
+    ProgressMonitor,
+    StreamAggregator,
+    StreamConfig,
+)
 from repro.obs.telemetry import RunTelemetry, merge_telemetry
 from repro.sim.network_sim import ScenarioConfig
 from repro.sim.scenarios import build_scenario
@@ -175,24 +181,41 @@ class BatchResult:
             raise self.failures[0].to_error()
 
 
-def _resolve_trace_dir(config: ScenarioConfig) -> ScenarioConfig:
+def _resolve_trace_dir(
+    config: ScenarioConfig, scenario: str
+) -> ScenarioConfig:
     """Apply the worker-side trace naming convention.
 
     When a spec's ``trace`` names a *directory* (an existing one, or a
     path spelled with a trailing separator), the run writes
-    ``trace-<seed>.jsonl`` under it.  Fleet runs can then point every
-    replication at one directory and get per-run trace files without
-    hand-assigned names.  File paths and the ``"memory"`` / ``"null"``
-    specs pass through untouched.
+    ``trace-<scenario>-<seed>.jsonl`` under it.  Fleet runs can then
+    point every replication at one directory and get per-run trace
+    files without hand-assigned names.  The scenario rides in the name
+    because mixed-scenario sweeps legitimately share seeds -- naming by
+    seed alone silently overwrote one scenario's trace with another's.
+    Exact spec duplicates (same scenario *and* seed) get a dedup
+    counter (``...-2.jsonl``, ``...-3.jsonl``): each worker claims its
+    file with an atomic exclusive create, so concurrent duplicates
+    never collide either.  File paths and the ``"memory"`` /
+    ``"null"`` specs pass through untouched.
     """
     trace = config.trace
     if not isinstance(trace, str) or trace in ("memory", "null"):
         return config
     if trace.endswith(os.sep) or trace.endswith("/") or os.path.isdir(trace):
         os.makedirs(trace, exist_ok=True)
-        return replace(
-            config, trace=os.path.join(trace, f"trace-{config.seed}.jsonl")
-        )
+        base = f"trace-{scenario}-{config.seed}"
+        copy = 1
+        while True:
+            name = base if copy == 1 else f"{base}-{copy}"
+            path = os.path.join(trace, f"{name}.jsonl")
+            try:
+                handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                copy += 1
+                continue
+            os.close(handle)
+            return replace(config, trace=path)
     return config
 
 
@@ -205,7 +228,7 @@ def run_spec(spec: RunSpec) -> SimulationReport:
     traceback text also rides in ``cause``).
     """
     try:
-        config = _resolve_trace_dir(spec.config)
+        config = _resolve_trace_dir(spec.config, spec.scenario)
         simulation = build_scenario(spec.scenario, config=config)
         return simulation.run()
     except Exception as exc:
@@ -249,7 +272,8 @@ def run_many(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     retry_backoff_s: float = 0.5,
-) -> Union[List[SimulationReport], BatchResult]:
+    stream: Union[None, bool, StreamConfig] = None,
+) -> Union[List[SimulationReport], BatchResult, FleetResult]:
     """Run every spec, fanning out across worker processes.
 
     Parameters
@@ -281,6 +305,19 @@ def run_many(
     retry_backoff_s:
         Sleep before retry round *r* is ``retry_backoff_s * 2**(r-1)``
         (exponential backoff, first retry waits one unit).
+    stream:
+        Streaming fleet aggregation (see :mod:`repro.obs.streaming`).
+        ``True`` or a :class:`~repro.obs.streaming.StreamConfig` makes
+        workers push incremental telemetry deltas and progress events
+        through a queue instead of pickling whole reports back, and
+        changes the return type to
+        :class:`~repro.obs.streaming.FleetResult` -- slot-aligned
+        reports (rebuilt master-side from small payloads), failures,
+        the incrementally reduced fleet telemetry, and the
+        :class:`~repro.obs.streaming.ProgressMonitor`.  ``on_error``
+        keeps its meaning (``"raise"`` fails fast, ``"collect"``
+        records).  Incompatible with ``timeout_s`` / ``retries`` (the
+        resilient sweep machinery owns those).
 
     Large spec lists are handed to the pool in chunks (about four per
     worker) so per-task pickling round-trips don't dominate experiments
@@ -300,7 +337,17 @@ def run_many(
         raise ValueError(f"timeout must be positive: {timeout_s}")
     if processes is None:
         processes = os.cpu_count() or 1
-    processes = min(processes, len(specs))
+    processes = min(processes, len(specs)) if specs else 1
+    if stream:
+        if timeout_s is not None or retries:
+            raise ValueError(
+                "stream= is incompatible with timeout_s/retries; "
+                "use the resilient batch path for those"
+            )
+        stream_config = (
+            stream if isinstance(stream, StreamConfig) else StreamConfig()
+        )
+        return _run_streaming(specs, processes, stream_config, on_error)
     resilient = (
         on_error == "collect" or timeout_s is not None or retries > 0
     )
@@ -578,6 +625,197 @@ def _shutdown(pool: ProcessPoolExecutor) -> None:
     for process in workers:
         if process.is_alive():
             process.terminate()
+
+
+# ----------------------------------------------------------------------
+# Streaming fleet aggregation (run_many(..., stream=...))
+# ----------------------------------------------------------------------
+def _stream_worker(queue, index: int, spec: RunSpec,
+                   checkpoint_s: Optional[float]) -> None:
+    """Run one spec, pushing messages instead of returning a report.
+
+    Messages (see :mod:`repro.obs.streaming`): ``("started", index)``,
+    zero or more ``("delta", index, RunTelemetry)`` increments, then
+    exactly one of ``("completed", index, (fields, delta, extras))`` or
+    ``("failed", index, (scenario, seed, traceback_text))``.  The
+    completed payload is small: the report's dataclass fields (flat
+    scalars -- telemetry deliberately travels as deltas, not attached),
+    the final telemetry increment, and the non-field report attributes.
+    """
+    queue.put(("started", index))
+    try:
+        config = _resolve_trace_dir(spec.config, spec.scenario)
+        simulation = build_scenario(spec.scenario, config=config)
+        # Telescoping deltas: each checkpoint ships what changed since
+        # the last.  The baseline has runs=0 so the first delta carries
+        # runs=1 and the rest runs=0 -- fleet totals count each run once.
+        last = RunTelemetry(runs=0)
+
+        def checkpoint() -> None:
+            nonlocal last
+            current = simulation.telemetry()
+            queue.put(("delta", index, current.diff(last)))
+            last = current
+
+        if checkpoint_s is not None:
+            # The checkpoint callback only reads counters, so the extra
+            # timer events never perturb the run (same argument as the
+            # metrics sampler; pinned by tests/sim/test_streaming.py).
+            simulation.sim.timers.every(checkpoint_s, checkpoint)
+        report = simulation.run()
+        extras = {
+            "invariant_violations": report.invariant_violations,
+            "resilience": report.resilience,
+        }
+        queue.put((
+            "completed", index,
+            (asdict(report), report.telemetry.diff(last), extras),
+        ))
+    except Exception as exc:
+        text = "".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__
+        )).rstrip()
+        queue.put(("failed", index,
+                   (spec.scenario, spec.config.seed, text)))
+
+
+class _StreamMaster:
+    """Master-side reducer of worker stream messages."""
+
+    def __init__(
+        self, specs: Sequence[RunSpec], config: StreamConfig,
+        on_error: str,
+    ) -> None:
+        self.specs = specs
+        self.on_error = on_error
+        self.aggregator = StreamAggregator()
+        self.progress = ProgressMonitor(
+            len(specs), status_line=config.status_line
+        )
+        self.results: List[Optional[SimulationReport]] = [None] * len(specs)
+        self.failures: Dict[int, RunFailure] = {}
+        self.remaining = len(specs)
+
+    def consume(self, message) -> None:
+        kind, index = message[0], message[1]
+        if kind == "started":
+            self.progress.note_started(index)
+        elif kind == "delta":
+            self.aggregator.add_delta(index, message[2])
+        elif kind == "completed":
+            fields, delta, extras = message[2]
+            self.aggregator.add_delta(index, delta)
+            report = SimulationReport(**fields)
+            report.telemetry = self.aggregator.run_telemetry(index)
+            report.invariant_violations = extras["invariant_violations"]
+            report.resilience = extras["resilience"]
+            self.results[index] = report
+            self.remaining -= 1
+            self.progress.note_completed(index)
+        elif kind == "failed":
+            scenario, seed, text = message[2]
+            self.record_failure(index, scenario, seed, text)
+        else:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unknown stream message {kind!r}")
+
+    def record_failure(
+        self, index: int, scenario: str, seed: int, text: str
+    ) -> None:
+        self.failures[index] = RunFailure(
+            index=index,
+            scenario=scenario,
+            seed=seed,
+            error=text.strip().rsplit("\n", 1)[-1].strip(),
+            traceback=text,
+            attempts=1,
+        )
+        self.remaining -= 1
+        self.progress.note_failed(index)
+        if self.on_error == "raise":
+            self.progress.close()
+            raise RunFailedError(scenario, seed, text)
+
+    def finish(self) -> FleetResult:
+        self.progress.close()
+        return FleetResult(
+            reports=list(self.results),
+            failures=[self.failures[i] for i in sorted(self.failures)],
+            telemetry=self.aggregator.total,
+            progress=self.progress,
+        )
+
+
+def _run_streaming(
+    specs: Sequence[RunSpec],
+    processes: int,
+    config: StreamConfig,
+    on_error: str,
+) -> FleetResult:
+    """The streaming ``run_many`` path (see :mod:`repro.obs.streaming`)."""
+    master = _StreamMaster(specs, config, on_error)
+    if processes <= 1 or len(specs) < 2:
+        # Serial: same protocol through an in-process queue, so the
+        # aggregation/progress machinery is identical either way.
+        import queue as queue_module
+
+        channel = queue_module.SimpleQueue()
+        for index, spec in enumerate(specs):
+            _stream_worker(channel, index, spec, config.checkpoint_s)
+            while not channel.empty():
+                master.consume(channel.get())
+        return master.finish()
+
+    import multiprocessing
+    import queue as queue_module
+
+    with multiprocessing.Manager() as manager:
+        # A manager queue proxy (unlike a raw mp.Queue) pickles through
+        # pool.submit, at the price of one broker process.
+        channel = manager.Queue()
+        pool = ProcessPoolExecutor(max_workers=processes)
+        try:
+            futures = {
+                index: pool.submit(
+                    _stream_worker, channel, index, spec,
+                    config.checkpoint_s,
+                )
+                for index, spec in enumerate(specs)
+            }
+            while master.remaining:
+                try:
+                    master.consume(channel.get(timeout=1.0))
+                    continue
+                except queue_module.Empty:
+                    pass
+                # Queue quiet: look for workers that died without
+                # posting "failed" (a crashed process / broken pool).
+                # Drain stragglers first -- a worker can post its final
+                # message and then die before the future resolves.
+                while True:
+                    try:
+                        master.consume(channel.get_nowait())
+                    except queue_module.Empty:
+                        break
+                for index, future in list(futures.items()):
+                    if master.results[index] is not None:
+                        del futures[index]
+                        continue
+                    if index in master.failures:
+                        del futures[index]
+                        continue
+                    if future.done() and future.exception() is not None:
+                        spec = specs[index]
+                        exc = future.exception()
+                        master.record_failure(
+                            index, spec.scenario, spec.config.seed,
+                            f"{type(exc).__name__}: worker process died "
+                            f"before reporting ({exc or 'no detail'})",
+                        )
+                        del futures[index]
+        finally:
+            _shutdown(pool)
+            master.progress.close()
+    return master.finish()
 
 
 def combined_telemetry(

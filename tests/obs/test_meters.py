@@ -1,0 +1,178 @@
+"""Tests for the live metrics registry (:mod:`repro.obs.meters`)."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.obs.meters import (
+    Counter,
+    Gauge,
+    Histogram,
+    MeterRegistry,
+    counter_timeseries,
+    read_snapshots_jsonl,
+)
+from repro.sim import ScenarioConfig, build_scenario
+
+_QUICK = dict(duration_s=40.0, warmup_s=5.0)
+
+
+# ----------------------------------------------------------------------
+# Meter primitives
+# ----------------------------------------------------------------------
+def test_counter_is_monotonic():
+    counter = Counter("repro_test_total")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    counter.set_total(9)
+    assert counter.value == 9
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    with pytest.raises(ValueError):
+        counter.set_total(3)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("repro_test_gauge")
+    gauge.set(5.0)
+    gauge.set(2.0)
+    assert gauge.value == 2.0
+
+
+def test_meter_name_validation():
+    with pytest.raises(ValueError):
+        Counter("not a name")
+    with pytest.raises(ValueError):
+        Gauge("9starts_with_digit")
+
+
+def test_histogram_buckets():
+    histogram = Histogram("repro_test_hist", (0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    snapshot = histogram.snapshot()
+    # Cumulative: <=0.1 -> 1, <=1.0 -> 3, <=10.0 -> 4 (+Inf holds 5).
+    assert snapshot["buckets"] == [[0.1, 1], [1.0, 3], [10.0, 4]]
+    assert snapshot["count"] == 5
+    assert snapshot["sum"] == pytest.approx(56.05)
+    # A value exactly on a bound lands in that bound's bucket.
+    edge = Histogram("repro_test_edge", (1.0,))
+    edge.observe(1.0)
+    assert edge.snapshot()["buckets"] == [[1.0, 1]]
+    with pytest.raises(ValueError):
+        Histogram("repro_test_bad", (1.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("repro_test_empty", ())
+
+
+def test_registry_get_or_create_and_type_conflicts():
+    registry = MeterRegistry()
+    a = registry.counter("repro_x_total")
+    assert registry.counter("repro_x_total") is a
+    with pytest.raises(ValueError):
+        registry.gauge("repro_x_total")
+    registry.gauge("repro_y")
+    registry.histogram("repro_z", (1.0,))
+    assert len(registry) == 3
+
+
+def test_prometheus_exposition_format():
+    registry = MeterRegistry()
+    counter = registry.counter("repro_updates_total", "Updates seen")
+    counter.inc(3)
+    registry.gauge("repro_depth").set(2.5)
+    histogram = registry.histogram("repro_lat", (0.5, 1.0), "Latency")
+    histogram.observe(0.2)
+    histogram.observe(2.0)
+    text = registry.to_prometheus()
+    lines = text.splitlines()
+    assert "# HELP repro_updates_total Updates seen" in lines
+    assert "# TYPE repro_updates_total counter" in lines
+    assert "repro_updates_total 3" in lines
+    assert "repro_depth 2.5" in lines
+    assert 'repro_lat_bucket{le="0.5"} 1' in lines
+    assert 'repro_lat_bucket{le="1"} 1' in lines
+    assert 'repro_lat_bucket{le="+Inf"} 2' in lines
+    assert "repro_lat_sum 2.2" in lines
+    assert "repro_lat_count 2" in lines
+    assert text.endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# The simulation pipeline
+# ----------------------------------------------------------------------
+def test_metered_run_samples_and_is_bit_identical():
+    bare = build_scenario(
+        "two-region-hnspf", config=ScenarioConfig(**_QUICK)
+    ).run()
+    simulation = build_scenario(
+        "two-region-hnspf",
+        config=ScenarioConfig(**_QUICK, metrics="memory"),
+    )
+    report = simulation.run()
+    # The sampler's read-only timer never perturbs the run.
+    assert asdict(report) == asdict(bare)
+    meters = simulation.meters
+    # One sample per measurement interval plus the end-of-run sample.
+    assert meters.samples_taken == len(meters.snapshots) >= 4
+    assert report.telemetry.meter_samples == meters.samples_taken
+    # Snapshots are time-ordered and mirror the telemetry totals.
+    times = [s["t"] for s in meters.snapshots]
+    assert times == sorted(times)
+    final = meters.snapshots[-1]["counters"]
+    assert final["repro_flood_generated"] == \
+        report.telemetry.flood_generated
+    assert final["repro_events_processed"] == \
+        report.telemetry.events_processed
+    # Counters only ever grow across the snapshot stream.
+    series = counter_timeseries(meters.snapshots, "repro_flood_accepted")
+    values = [value for _t, value in series]
+    assert values == sorted(values)
+    # Utilization samples landed in the histogram.
+    util = meters.snapshots[-1]["histograms"]["repro_link_utilization"]
+    assert util["count"] > 0
+
+
+def test_metrics_jsonl_export(tmp_path):
+    path = str(tmp_path / "metrics.jsonl")
+    simulation = build_scenario(
+        "two-region-dspf", config=ScenarioConfig(**_QUICK, metrics=path)
+    )
+    simulation.run()
+    snapshots = read_snapshots_jsonl(path)
+    assert len(snapshots) == simulation.meters.samples_taken
+    assert snapshots[-1] == simulation.meters.snapshots[-1]
+    for snapshot in snapshots:
+        assert set(snapshot) == {"t", "counters", "gauges", "histograms"}
+
+
+def test_metrics_prometheus_reflects_final_state():
+    simulation = build_scenario(
+        "two-region-dspf",
+        config=ScenarioConfig(**_QUICK, metrics="memory"),
+    )
+    report = simulation.run()
+    text = simulation.meters.to_prometheus()
+    assert (
+        f"repro_flood_generated {report.telemetry.flood_generated}"
+        in text.splitlines()
+    )
+    assert "repro_link_utilization_bucket" in text
+
+
+def test_metrics_spec_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig(metrics=7)
+
+
+def test_sampler_determinism_same_seed_same_snapshots():
+    def snapshots():
+        simulation = build_scenario(
+            "two-region-hnspf",
+            config=ScenarioConfig(**_QUICK, metrics="memory", seed=3),
+        )
+        simulation.run()
+        return simulation.meters.snapshots
+
+    assert snapshots() == snapshots()

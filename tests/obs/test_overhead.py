@@ -58,3 +58,20 @@ def test_disabled_run_still_attaches_telemetry():
     report = _build().run()
     assert report.telemetry is not None
     assert report.telemetry.trace_events == 0
+
+
+def test_disabled_run_builds_no_meters():
+    """``metrics=None`` allocates nothing and schedules no sampler."""
+    simulation = _build()
+    assert simulation.meters is None
+    timers_before = len(simulation.sim.timers)
+    report = simulation.run()
+    assert len(simulation.sim.timers) == timers_before
+    assert report.telemetry.meter_samples == 0
+
+
+def test_enabled_meters_schedule_one_sampler_timer():
+    bare = _build()
+    metered = _build(metrics="memory")
+    assert metered.meters is not None
+    assert len(metered.sim.timers) == len(bare.sim.timers) + 1

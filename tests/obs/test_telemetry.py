@@ -4,6 +4,8 @@ import dataclasses
 import math
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.obs.telemetry import RunTelemetry, merge_telemetry
 from repro.sim import ScenarioConfig, build_scenario
@@ -45,6 +47,62 @@ def test_merge_is_associative_and_commutative():
     right = a.merge(b.merge(c))
     assert left.to_dict() == right.to_dict()
     assert a.merge(b).to_dict() == b.merge(a).to_dict()
+
+
+#: Every integer counter field, including the PR-5 flooding counters
+#: (``flood_duplicates_avoided``, ``flood_window_evictions``) and this
+#: PR's ``meter_samples`` -- derived from the dataclass so a newly
+#: added counter is property-tested automatically.
+_COUNTER_FIELDS = [
+    f.name for f in dataclasses.fields(RunTelemetry)
+    if f.name not in ("runs", "wall_s", "phase_wall_s")
+]
+
+
+def _arbitrary_block(values) -> RunTelemetry:
+    block = RunTelemetry()
+    for name, value in zip(_COUNTER_FIELDS, values):
+        setattr(block, name, value)
+    return block
+
+
+@given(st.lists(
+    st.lists(st.integers(min_value=0, max_value=10**9),
+             min_size=len(_COUNTER_FIELDS),
+             max_size=len(_COUNTER_FIELDS)),
+    min_size=3, max_size=3,
+))
+def test_merge_associativity_property_over_every_counter(rows):
+    """(a+b)+c == a+(b+c) and a+b == b+a, fieldwise, for all counters."""
+    a, b, c = (_arbitrary_block(row) for row in rows)
+    left = a.merge(b).merge(c).to_dict()
+    right = a.merge(b.merge(c)).to_dict()
+    assert left == right
+    assert a.merge(b).to_dict() == b.merge(a).to_dict()
+    for name in ("flood_duplicates_avoided", "flood_window_evictions",
+                 "meter_samples"):
+        assert left[name] == sum(
+            getattr(block, name) for block in (a, b, c)
+        )
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6),
+                min_size=len(_COUNTER_FIELDS),
+                max_size=len(_COUNTER_FIELDS)),
+       st.lists(st.integers(min_value=0, max_value=10**6),
+                min_size=len(_COUNTER_FIELDS),
+                max_size=len(_COUNTER_FIELDS)))
+def test_diff_then_merge_round_trips(earlier_values, delta_values):
+    """``earlier.merge(later.diff(earlier))`` reconstructs ``later``.
+
+    The telescoping-delta identity the streaming fleet path relies on.
+    """
+    earlier = _arbitrary_block(earlier_values)
+    later = _arbitrary_block(
+        [a + b for a, b in zip(earlier_values, delta_values)]
+    )
+    rebuilt = earlier.merge(later.diff(earlier))
+    assert rebuilt.to_dict() == later.to_dict()
 
 
 def test_merge_telemetry_reducer_skips_none():

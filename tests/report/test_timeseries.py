@@ -11,9 +11,11 @@ import pytest
 from repro.obs.tracer import COST_CHANGE, TraceEvent, UTILIZATION
 from repro.report import (
     bucketed_rate,
+    convergence_timeseries,
     cost_timeseries,
     drop_timeseries,
     event_counts,
+    propagation_latency_series,
     read_trace,
     utilization_timeseries,
 )
@@ -27,6 +29,20 @@ def traced_run(tmp_path_factory):
     """One traced paper-scenario run shared by the module's tests."""
     path = tmp_path_factory.mktemp("traces") / "run.jsonl"
     config = ScenarioConfig(duration_s=60.0, warmup_s=0.0, trace=str(path))
+    simulation = build_scenario(SCENARIO, config=config)
+    simulation.run()
+    simulation.tracer.close()
+    return simulation, read_trace(str(path))
+
+
+@pytest.fixture(scope="module")
+def calendar_traced_run(tmp_path_factory):
+    """The same scenario traced under the calendar-queue scheduler."""
+    path = tmp_path_factory.mktemp("traces") / "calendar.jsonl"
+    config = ScenarioConfig(
+        duration_s=60.0, warmup_s=0.0, trace=str(path),
+        scheduler="calendar",
+    )
     simulation = build_scenario(SCENARIO, config=config)
     simulation.run()
     simulation.tracer.close()
@@ -83,6 +99,53 @@ def test_read_trace_skips_blank_lines(tmp_path):
     assert read_trace(str(path)) == [
         {"t": 1.0, "kind": "cost-change", "link": 0, "value": 3}
     ]
+
+
+def test_calendar_scheduler_trace_reproduces_live_series(
+    traced_run, calendar_traced_run
+):
+    """trace == live holds under the calendar queue too -- and the
+    calendar trace equals the heap trace (scheduler choice never
+    changes results, only speed)."""
+    simulation, events = calendar_traced_run
+    assert simulation.sim.calendar_events_processed > 0
+    series = cost_timeseries(events)
+    assert series
+    for link_id in series:
+        assert series[link_id] == simulation.stats.cost_series(link_id)
+    util = utilization_timeseries(events)
+    for link_id, samples in simulation.stats.utilization_history.items():
+        assert util[link_id] == samples
+    _heap_sim, heap_events = traced_run
+    assert events == heap_events
+
+
+def test_calendar_scheduler_spans_adapters(calendar_traced_run):
+    """The spans→timeseries adapters work on calendar-queue traces."""
+    _simulation, events = calendar_traced_run
+    latencies = propagation_latency_series(events)
+    assert latencies
+    times = [t for t, _lat in latencies]
+    assert times == sorted(times)
+    assert all(latency >= 0.0 for _t, latency in latencies)
+    episodes = convergence_timeseries(events, quiet_s=5.0)
+    assert episodes
+    assert all(duration >= 0.0 for _start, duration in episodes)
+
+
+def test_spans_adapters_on_empty_trace():
+    assert propagation_latency_series([]) == []
+    assert convergence_timeseries([]) == []
+
+
+def test_spans_adapters_on_single_event_lineage():
+    """A lone generation yields no latency points but one episode."""
+    events = [{
+        "t": 2.0, "kind": "update-generated", "node": 1, "link": 4,
+        "value": 120, "origin": 1, "seq": 3,
+    }]
+    assert propagation_latency_series(events) == []
+    assert convergence_timeseries(events) == [(2.0, 0.0)]
 
 
 def test_bucketed_rate():

@@ -109,7 +109,11 @@ def test_multiline_cause_survives_pickling_with_traceback():
 
 
 def test_worker_trace_dir_naming(tmp_path):
-    """A directory-valued ``trace`` yields ``trace-<seed>.jsonl`` files."""
+    """Directory traces are named ``trace-<scenario>-<seed>.jsonl``.
+
+    The scenario rides in the name because mixed-scenario sweeps
+    legitimately share seeds; naming by seed alone overwrote traces.
+    """
     trace_dir = str(tmp_path / "traces")
     specs = [
         RunSpec("two-region-hnspf", ScenarioConfig(
@@ -119,20 +123,56 @@ def test_worker_trace_dir_naming(tmp_path):
         for seed in (6, 7)
     ]
     run_many(specs, processes=1)
-    assert sorted(os.listdir(trace_dir)) == \
-        ["trace-6.jsonl", "trace-7.jsonl"]
+    assert sorted(os.listdir(trace_dir)) == [
+        "trace-two-region-hnspf-6.jsonl",
+        "trace-two-region-hnspf-7.jsonl",
+    ]
     # An existing directory works without the trailing separator too.
     spec = RunSpec("two-region-hnspf", ScenarioConfig(
         duration_s=20.0, warmup_s=5.0, seed=8, trace=trace_dir,
     ))
     run_spec(spec)
-    assert "trace-8.jsonl" in os.listdir(trace_dir)
+    assert "trace-two-region-hnspf-8.jsonl" in os.listdir(trace_dir)
     # A plain file path still lands exactly where it was pointed.
     file_path = str(tmp_path / "one.jsonl")
     run_spec(RunSpec("two-region-hnspf", ScenarioConfig(
         duration_s=20.0, warmup_s=5.0, seed=9, trace=file_path,
     )))
     assert os.path.exists(file_path)
+
+
+def test_worker_trace_dir_distinguishes_scenarios_sharing_a_seed(tmp_path):
+    """Two scenarios under one seed no longer overwrite each other."""
+    trace_dir = str(tmp_path / "traces")
+    for scenario in ("two-region-hnspf", "two-region-dspf"):
+        run_spec(RunSpec(scenario, ScenarioConfig(
+            duration_s=20.0, warmup_s=5.0, seed=5,
+            trace=trace_dir + os.sep,
+        )))
+    assert sorted(os.listdir(trace_dir)) == [
+        "trace-two-region-dspf-5.jsonl",
+        "trace-two-region-hnspf-5.jsonl",
+    ]
+
+
+def test_worker_trace_dir_dedups_exact_duplicate_specs(tmp_path):
+    """Exact spec duplicates get a dedup counter instead of colliding."""
+    trace_dir = str(tmp_path / "traces")
+    spec = RunSpec("two-region-hnspf", ScenarioConfig(
+        duration_s=20.0, warmup_s=5.0, seed=4, trace=trace_dir + os.sep,
+    ))
+    for _ in range(3):
+        run_spec(spec)
+    names = sorted(os.listdir(trace_dir))
+    assert names == [
+        "trace-two-region-hnspf-4-2.jsonl",
+        "trace-two-region-hnspf-4-3.jsonl",
+        "trace-two-region-hnspf-4.jsonl",
+    ]
+    # Every claimed file holds a real trace (the exclusive-create claim
+    # is then truncated and written by the run's JSONL sink).
+    for name in names:
+        assert os.path.getsize(os.path.join(trace_dir, name)) > 0
 
 
 @pytest.mark.slow
