@@ -84,6 +84,7 @@ def cmd_simulate(args) -> int:
         profile=args.profile,
         faults=faults,
         check_invariants=args.check_invariants,
+        defenses=args.defenses,
         metrics=metrics,
     )
     if args.scenario:
@@ -148,15 +149,21 @@ def cmd_simulate(args) -> int:
     if args.telemetry or args.profile:
         print()
         print(_telemetry_table(report.telemetry))
-    if args.resilience_summary:
+    if args.resilience_summary or args.resilience_out:
         import json as _json
 
         if report.resilience is None:
             print("\nno resilience summary: run had no fault plan "
                   "(--faults PLAN.json)")
         else:
-            print("\nresilience summary:")
-            print(_json.dumps(report.resilience, indent=2))
+            if args.resilience_summary:
+                print("\nresilience summary:")
+                print(_json.dumps(report.resilience, indent=2))
+            if args.resilience_out:
+                with open(args.resilience_out, "w") as handle:
+                    _json.dump(report.resilience, handle, indent=2)
+                    handle.write("\n")
+                print(f"\nresilience summary -> {args.resilience_out}")
     if args.check_invariants:
         violations = report.invariant_violations or []
         if violations:
@@ -285,6 +292,15 @@ def main(argv: Optional[list] = None) -> int:
                             help="verify the paper's metric invariants "
                                  "each routing period; exit 1 on any "
                                  "violation")
+    p_simulate.add_argument("--defenses", action="store_true",
+                            help="screen routing updates (cost bounds, "
+                                 "sequence plausibility), quarantine "
+                                 "misbehaving neighbours and purge aged "
+                                 "database entries -- the post-1980 "
+                                 "ARPANET hardening")
+    p_simulate.add_argument("--resilience-out", default=None, metavar="PATH",
+                            help="write the resilience/containment summary "
+                                 "as JSON to PATH (needs --faults)")
     p_simulate.add_argument("--resilience-summary", action="store_true",
                             help="print per-fault reconvergence/delivery "
                                  "JSON (needs --faults)")

@@ -6,8 +6,23 @@ scenario into a studied workload: declarative fault schedules
 (:class:`FaultInjector`), and a runtime checker of the paper's metric
 guarantees (:class:`InvariantMonitor`).  Attach both through
 ``ScenarioConfig(faults=..., check_invariants=...)``.
+
+Beyond fail-stop faults, plans carry adversarial (Byzantine) kinds --
+:class:`CorruptUpdate`, :class:`BabblingNode`, :class:`StuckNode`,
+:class:`ReorderCircuit` (see :mod:`repro.faults.adversarial`) -- whose
+matching defense layer is :mod:`repro.routing.defense`
+(``ScenarioConfig(defenses=...)``).
 """
 
+from repro.faults.adversarial import (
+    ADVERSARIAL_KINDS,
+    AdversarialFault,
+    BabblingNode,
+    CorruptUpdate,
+    ReorderCircuit,
+    StuckNode,
+    adversarial_from_dict,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import (
     INVARIANTS,
@@ -25,6 +40,10 @@ from repro.faults.plan import (
 
 __all__ = [
     "ACTIONS",
+    "ADVERSARIAL_KINDS",
+    "AdversarialFault",
+    "BabblingNode",
+    "CorruptUpdate",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
@@ -33,5 +52,8 @@ __all__ = [
     "InvariantViolation",
     "InvariantViolationError",
     "LinkFlap",
+    "ReorderCircuit",
+    "StuckNode",
+    "adversarial_from_dict",
     "load_fault_plan",
 ]

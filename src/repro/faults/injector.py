@@ -17,8 +17,14 @@ traffic, other flaps, or scheduler backend.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Tuple
 
+from repro.faults.adversarial import (
+    BabblingNode,
+    CorruptUpdate,
+    ReorderCircuit,
+    StuckNode,
+)
 from repro.faults.plan import FaultEvent, FaultPlan, LinkFlap
 from repro.obs.tracer import (
     PARTITION,
@@ -46,11 +52,44 @@ class FaultInjector:
         #: Every applied transition, in order: (t_s, "fail"|"restore",
         #: link_id).  The resilience summary walks this list.
         self.applied: List[tuple] = []
+        # -- adversarial faults ----------------------------------------
+        #: Forged updates actually emitted, by kind.
+        self.corrupt_updates_injected = 0
+        self.babble_updates_injected = 0
+        #: Stuck-node freeze/thaw transitions applied.
+        self.stuck_transitions = 0
+        #: Control packets sent out of order by reorder hooks.
+        self.reorder_swaps = 0
+        #: Every adversarial action, in order: (t_s, kind, target id).
+        self.adversarial_applied: List[tuple] = []
+        #: Periodic containment samples, only with adversarial faults:
+        #: (t_s, poisoned-node count) and (t_s, cumulative update
+        #: transmissions).  The resilience containment summary reads
+        #: both (see :mod:`repro.report.resilience`).
+        self.poison_samples: List[Tuple[float, int]] = []
+        self.update_tx_samples: List[Tuple[float, int]] = []
         sim = simulation.sim
         for event in plan.events:
             sim.call_in(max(event.at_s - sim.now, 0.0), self._fire, event)
         for flap in plan.flaps:
             self._arm_flap(flap)
+        for fault in plan.adversarial:
+            if isinstance(fault, CorruptUpdate):
+                self._arm_corrupt(fault)
+            elif isinstance(fault, BabblingNode):
+                self._arm_babble(fault)
+            elif isinstance(fault, StuckNode):
+                self._arm_stuck(fault)
+            elif isinstance(fault, ReorderCircuit):
+                self._arm_reorder(fault)
+        if plan.adversarial:
+            # The containment sampler is read-only (it only compares
+            # databases against owners' counters), so sampling never
+            # perturbs the run -- same argument as the metrics sampler.
+            interval = simulation.config.measurement_interval_s
+            sim.timers.every(
+                interval, self._sample_containment, first_fire_s=interval
+            )
 
     def _validate(self, plan: FaultPlan) -> None:
         network = self.simulation.network
@@ -81,6 +120,20 @@ class FaultInjector:
                     f"flap the same duplex circuit"
                 )
             seen_circuits[circuit] = flap.link_id
+        reordered = {}
+        for fault in plan.adversarial:
+            if isinstance(fault, ReorderCircuit):
+                if not 0 <= fault.link_id < links:
+                    raise ValueError(f"no such link {fault.link_id}: {fault}")
+                circuit = self._circuit_id(fault.link_id)
+                if circuit in reordered:
+                    raise ValueError(
+                        f"links {reordered[circuit]} and {fault.link_id} "
+                        f"reorder the same duplex circuit"
+                    )
+                reordered[circuit] = fault.link_id
+            elif fault.node_id not in network.nodes:
+                raise ValueError(f"no such node {fault.node_id}: {fault}")
 
     # ------------------------------------------------------------------
     # Scripted events
@@ -180,3 +233,201 @@ class FaultInjector:
             return
         delay = self._flap_rng(flap).expovariate(1.0 / flap.mtbf_s)
         self.simulation.sim.call_in(delay, self._flap_fail, flap)
+
+    # ------------------------------------------------------------------
+    # Adversarial faults (see repro.faults.adversarial)
+    # ------------------------------------------------------------------
+    def _circuit_id(self, link_id: int) -> int:
+        """The duplex circuit a simplex link belongs to (lower id)."""
+        link = self.simulation.network.link(link_id)
+        if link.reverse_id is None:
+            return link_id
+        return min(link_id, link.reverse_id)
+
+    def _own_links(self, node_id: int) -> List[int]:
+        """A node's outgoing link ids, in deterministic (sorted) order."""
+        return sorted(
+            link.link_id
+            for link in self.simulation.network.out_links(
+                node_id, include_down=True
+            )
+        )
+
+    def _arm_corrupt(self, fault: CorruptUpdate) -> None:
+        rng = self.simulation.streams.stream(f"fault-corrupt-{fault.node_id}")
+        links = self._own_links(fault.node_id)
+        delay = rng.expovariate(fault.rate_per_s)
+        self.simulation.sim.call_in(
+            max(fault.start_s - self.simulation.sim.now, 0.0) + delay,
+            self._corrupt_fire, fault, rng, links,
+        )
+
+    def _corrupt_fire(self, fault: CorruptUpdate, rng, links: List[int]) -> None:
+        """Emit one forged update, then rearm.
+
+        Three corruption modes (drawn from the fault's own stream): a
+        bit-flipped *sequence number* -- a high bit OR-ed into the next
+        honest sequence, the 1980 failure mode that poisons every
+        database against the node's later legitimate updates -- an
+        out-of-range *cost field* riding an honest sequence number, or
+        both at once.
+        """
+        now = self.simulation.sim.now
+        if fault.until_s is not None and now >= fault.until_s:
+            return
+        psn = self.simulation.psns[fault.node_id]
+        link_id = links[rng.randrange(len(links))]
+        mode = rng.random()
+        if mode < 0.6:
+            # Sequence bit-flip; the cost is the node's current honest
+            # advertisement, so only the sequence space is poisoned.
+            sequence = (
+                psn.flooding._own_sequence.get(link_id, 0) + 1
+            ) | (1 << rng.randint(8, 17))
+            cost = psn._advertised.get(link_id, 1)
+        elif mode < 0.85:
+            # Garbage cost on an honest sequence number (below the
+            # line-dead threshold, so undefended receivers route on it).
+            sequence = None
+            cost = rng.randrange(100_000, 2 ** 20)
+        else:
+            sequence = (
+                psn.flooding._own_sequence.get(link_id, 0) + 1
+            ) | (1 << rng.randint(8, 17))
+            cost = rng.randrange(100_000, 2 ** 20)
+        psn.emit_forged_update(link_id, cost, sequence=sequence)
+        self.corrupt_updates_injected += 1
+        self.adversarial_applied.append((now, "corrupt-update", fault.node_id))
+        self.simulation.sim.call_in(
+            rng.expovariate(fault.rate_per_s), self._corrupt_fire,
+            fault, rng, links,
+        )
+
+    def _arm_babble(self, fault: BabblingNode) -> None:
+        rng = self.simulation.streams.stream(f"fault-babble-{fault.node_id}")
+        links = self._own_links(fault.node_id)
+        delay = rng.expovariate(fault.rate_per_s)
+        self.simulation.sim.call_in(
+            max(fault.start_s - self.simulation.sim.now, 0.0) + delay,
+            self._babble_fire, fault, rng, links,
+        )
+
+    def _babble_fire(self, fault: BabblingNode, rng, links: List[int]) -> None:
+        """One well-formed but gratuitous update: honest sequence, the
+        current advertisement re-announced verbatim.  Every sanity
+        screen passes it (it is the truth, just far too often) -- only
+        per-neighbour rate limiting contains a babbler."""
+        now = self.simulation.sim.now
+        if fault.until_s is not None and now >= fault.until_s:
+            return
+        psn = self.simulation.psns[fault.node_id]
+        link_id = links[rng.randrange(len(links))]
+        cost = psn._advertised.get(link_id, 1)
+        psn.emit_forged_update(link_id, cost)
+        self.babble_updates_injected += 1
+        self.adversarial_applied.append((now, "babbling-node", fault.node_id))
+        self.simulation.sim.call_in(
+            rng.expovariate(fault.rate_per_s), self._babble_fire,
+            fault, rng, links,
+        )
+
+    def _arm_stuck(self, fault: StuckNode) -> None:
+        sim = self.simulation.sim
+        sim.call_in(
+            max(fault.start_s - sim.now, 0.0), self._stuck_set, fault, True
+        )
+        if fault.until_s is not None:
+            sim.call_in(
+                max(fault.until_s - sim.now, 0.0),
+                self._stuck_set, fault, False,
+            )
+
+    def _stuck_set(self, fault: StuckNode, stuck: bool) -> None:
+        self.simulation.psns[fault.node_id].set_control_stuck(stuck)
+        self.stuck_transitions += 1
+        self.adversarial_applied.append(
+            (self.simulation.sim.now, "stuck-node", fault.node_id)
+        )
+
+    def _arm_reorder(self, fault: ReorderCircuit) -> None:
+        """Install the dequeue-time reorder hook on both directions.
+
+        One stream per duplex circuit; the hook itself checks the
+        active window at fire time, so installation order never shifts
+        draws (draws happen only on in-window dequeues).
+        """
+        circuit = self._circuit_id(fault.link_id)
+        rng = self.simulation.streams.stream(f"fault-reorder-{circuit}")
+        sim = self.simulation.sim
+
+        def pick(queue_len: int) -> int:
+            now = sim.now
+            if now < fault.start_s:
+                return 0
+            if fault.until_s is not None and now >= fault.until_s:
+                return 0
+            if rng.random() >= fault.probability:
+                return 0
+            self.reorder_swaps += 1
+            return rng.randint(1, min(fault.depth, queue_len - 1))
+
+        link = self.simulation.network.link(fault.link_id)
+        self.simulation.transmitters[fault.link_id].reorder_control = pick
+        if link.reverse_id is not None:
+            self.simulation.transmitters[link.reverse_id].reorder_control = pick
+
+    # ------------------------------------------------------------------
+    # Containment sampling (adversarial plans only)
+    # ------------------------------------------------------------------
+    def _sample_containment(self) -> None:
+        """Record (t, poisoned-node count) and cumulative update traffic.
+
+        Read-only: compares every node's flooding database against the
+        owning node's own origination counters and current
+        advertisements.  Never touches simulation state.
+        """
+        now = self.simulation.sim.now
+        count = sum(
+            1 for psn in self.simulation.psns.values()
+            if self._node_poisoned(psn)
+        )
+        self.poison_samples.append((now, count))
+        self.update_tx_samples.append((now, sum(
+            t.update_packets_sent
+            for t in self.simulation.transmitters.values()
+        )))
+
+    def _node_poisoned(self, psn) -> bool:
+        """Whether a node's database disagrees with ground truth.
+
+        Poisoned means either a *sequence* ahead of the owning node's
+        own origination counter (a forged sequence number got in -- the
+        owner's honest updates are now blocked), or the *cost* on
+        record at the owner's current sequence differs from what the
+        owner actually advertises (a forged cost got in).  A lagging
+        sequence is just propagation in flight, not poisoning.
+        """
+        from repro.psn.node import DOWN_COST
+        from repro.routing.spf import UNREACHABLE
+
+        simulation = self.simulation
+        seen = psn.flooding._highest_seen
+        for link in simulation.network.links:
+            if link.src == psn.node_id:
+                continue
+            owner = simulation.psns[link.src]
+            own_seq = owner.flooding._own_sequence.get(link.link_id, 0)
+            recorded = seen.get((link.src, link.link_id), 0)
+            if recorded > own_seq:
+                return True
+            if recorded == own_seq and own_seq > 0:
+                advertised = owner._advertised.get(link.link_id)
+                if advertised is None:
+                    continue
+                applied = (
+                    UNREACHABLE if advertised >= DOWN_COST
+                    else float(advertised)
+                )
+                if psn.costs[link.link_id] != applied:
+                    return True
+        return False

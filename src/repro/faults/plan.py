@@ -3,8 +3,10 @@
 A :class:`FaultPlan` describes *what goes wrong and when* in one
 simulation run, independently of any simulator instance: scripted
 events (fail or restore a circuit, crash or restart a whole PSN,
-partition a region) plus stochastic per-link flapping driven by
-MTBF/MTTR exponential draws.  Plans are plain frozen dataclasses of
+partition a region), stochastic per-link flapping driven by MTBF/MTTR
+exponential draws, and adversarial (Byzantine) faults -- corrupted,
+babbling, stuck and reordering behaviours from
+:mod:`repro.faults.adversarial`.  Plans are plain frozen dataclasses of
 primitives, so they pickle into a
 :class:`~repro.sim.parallel.RunSpec`'s config and round-trip through
 JSON (``python -m repro simulate --faults PLAN.json``).
@@ -20,6 +22,12 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
+
+from repro.faults.adversarial import (
+    AdversarialFault,
+    adversarial_from_dict,
+    adversarial_stream_key,
+)
 
 #: Scripted actions a :class:`FaultEvent` can perform.
 ACTIONS = (
@@ -164,30 +172,70 @@ class LinkFlap:
         )
 
 
+#: Canonical same-timestamp ordering of scripted events: every
+#: "down" transition fires before every "up" transition scheduled at
+#: the same instant (restore-after-fail), so a plan pairing a fail and
+#: a restore of one circuit at one timestamp deterministically ends
+#: with the circuit *up* -- previously the outcome depended on the
+#: plan's tuple order.  Within one rank the plan's order is kept
+#: (the sort is stable).
+_ACTION_RANK = {
+    "fail-circuit": 0,
+    "crash-node": 0,
+    "partition": 0,
+    "restore-circuit": 1,
+    "restart-node": 1,
+    "heal-partition": 1,
+}
+
+
 @dataclass(frozen=True)
 class FaultPlan:
-    """A complete fault workload: scripted events plus stochastic flaps.
+    """A complete fault workload: scripted events, stochastic flaps,
+    and adversarial (Byzantine) faults.
 
     Attach to a run with ``ScenarioConfig(faults=plan)``; the plan is
     picklable (it rides :class:`~repro.sim.parallel.RunSpec` configs
     into worker processes) and JSON-serializable (:meth:`to_json` /
     :meth:`from_json`, ``--faults PLAN.json`` on the CLI).
+
+    Scripted events are canonicalized at construction: they are stably
+    sorted by time, with same-timestamp ties broken *fail before
+    restore* (see :data:`_ACTION_RANK`), so simultaneous fail+restore
+    of one circuit has a defined outcome.
     """
 
     events: Tuple[FaultEvent, ...] = ()
     flaps: Tuple[LinkFlap, ...] = ()
+    adversarial: Tuple[AdversarialFault, ...] = ()
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "events", tuple(self.events))
+        events = sorted(
+            self.events,
+            key=lambda e: (e.at_s, _ACTION_RANK.get(e.action, 2)),
+        )
+        object.__setattr__(self, "events", tuple(events))
         object.__setattr__(self, "flaps", tuple(self.flaps))
+        object.__setattr__(self, "adversarial", tuple(self.adversarial))
         flapped = [flap.link_id for flap in self.flaps]
         if len(set(flapped)) != len(flapped):
             raise ValueError(
                 f"one flap per circuit: duplicate link ids in {flapped}"
             )
+        # Two same-kind adversaries on one target would share a random
+        # stream and entangle their draws; reject the plan outright.
+        seen: Dict[Tuple[str, int], AdversarialFault] = {}
+        for fault in self.adversarial:
+            key = adversarial_stream_key(fault)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate adversarial fault on the same target: "
+                    f"{seen[key]} and {fault}"
+                )
+            seen[key] = fault
 
     def __bool__(self) -> bool:
-        return bool(self.events or self.flaps)
+        return bool(self.events or self.flaps or self.adversarial)
 
     @classmethod
     def single_outage(
@@ -204,18 +252,23 @@ class FaultPlan:
         ))
 
     def to_dict(self) -> Dict:
-        return {
+        out: Dict = {
             "events": [event.to_dict() for event in self.events],
             "flaps": [flap.to_dict() for flap in self.flaps],
         }
+        if self.adversarial:
+            out["adversarial"] = [
+                fault.to_dict() for fault in self.adversarial
+            ]
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FaultPlan":
-        unknown = set(data) - {"events", "flaps"}
+        unknown = set(data) - {"events", "flaps", "adversarial"}
         if unknown:
             raise ValueError(
                 f"unknown fault plan keys: {sorted(unknown)} "
-                f"(expected 'events' and/or 'flaps')"
+                f"(expected 'events', 'flaps' and/or 'adversarial')"
             )
         return cls(
             events=tuple(
@@ -223,6 +276,9 @@ class FaultPlan:
             ),
             flaps=tuple(
                 LinkFlap.from_dict(f) for f in data.get("flaps", ())
+            ),
+            adversarial=tuple(
+                adversarial_from_dict(a) for a in data.get("adversarial", ())
             ),
         )
 

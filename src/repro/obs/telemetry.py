@@ -85,6 +85,27 @@ class RunTelemetry:
     #: Invariant violations recorded.
     invariant_violations: int = 0
 
+    # -- adversarial faults / defenses ----------------------------------
+    #: Forged updates emitted by corrupt-update faults.
+    corrupt_updates_injected: int = 0
+    #: Gratuitous updates emitted by babbling-node faults.
+    babble_updates_injected: int = 0
+    #: Stuck-node freeze/thaw transitions applied.
+    stuck_transitions: int = 0
+    #: Control packets dequeued out of order by reorder faults.
+    reorder_swaps: int = 0
+    #: Updates rejected by defense screens, by reason.
+    defense_rejected_quarantine: int = 0
+    defense_rejected_rate: int = 0
+    defense_rejected_cost: int = 0
+    defense_rejected_seq: int = 0
+    #: Neighbour quarantines entered / lifted.
+    defense_quarantines: int = 0
+    defense_rehabilitations: int = 0
+    #: Purge passes run and database entries evicted by them.
+    defense_purge_passes: int = 0
+    defense_purged_entries: int = 0
+
     # -- observability itself ------------------------------------------
     #: Trace events emitted (0 for disabled runs).
     trace_events: int = 0
@@ -215,6 +236,24 @@ class RunTelemetry:
             telemetry.faults_injected = injector.faults_injected
             telemetry.restores_injected = injector.restores_injected
             telemetry.flap_transitions = injector.flap_transitions
+            telemetry.corrupt_updates_injected = \
+                injector.corrupt_updates_injected
+            telemetry.babble_updates_injected = \
+                injector.babble_updates_injected
+            telemetry.stuck_transitions = injector.stuck_transitions
+            telemetry.reorder_swaps = injector.reorder_swaps
+        for psn in simulation.psns.values():
+            if psn.defense is None:
+                continue
+            stats = psn.defense.stats
+            telemetry.defense_rejected_quarantine += stats.rejected_quarantine
+            telemetry.defense_rejected_rate += stats.rejected_rate
+            telemetry.defense_rejected_cost += stats.rejected_cost
+            telemetry.defense_rejected_seq += stats.rejected_seq
+            telemetry.defense_quarantines += stats.quarantines
+            telemetry.defense_rehabilitations += stats.rehabilitations
+            telemetry.defense_purge_passes += stats.purge_passes
+            telemetry.defense_purged_entries += stats.purged_entries
         monitor = getattr(simulation, "invariant_monitor", None)
         if monitor is not None:
             telemetry.invariant_checks = monitor.checks_run

@@ -72,6 +72,15 @@ PARTITION_HEAL = "partition-heal"
 #: The invariant monitor observed a breached metric guarantee;
 #: ``data["invariant"]`` names it (see :mod:`repro.faults.invariants`).
 INVARIANT_VIOLATION = "invariant-violation"
+#: The defense layer rejected a received routing update;
+#: ``data["reason"]`` says why (see :mod:`repro.routing.defense`).
+UPDATE_REJECTED = "update-rejected"
+#: A misbehaving neighbour was quarantined; ``data["neighbor"]`` names
+#: it and ``data["until_s"]`` says when rehabilitation is due.
+NEIGHBOR_QUARANTINED = "neighbor-quarantined"
+#: A self-stabilization pass evicted aged flooding-database entries;
+#: ``value`` is the number of entries purged.
+DB_PURGED = "db-purged"
 
 EVENT_KINDS = (
     COST_CHANGE,
@@ -92,6 +101,9 @@ EVENT_KINDS = (
     PARTITION,
     PARTITION_HEAL,
     INVARIANT_VIOLATION,
+    UPDATE_REJECTED,
+    NEIGHBOR_QUARANTINED,
+    DB_PURGED,
 )
 
 

@@ -77,6 +77,7 @@ class LinkTransmitter:
         "bits_sent", "data_bits_sent", "data_packets_sent",
         "control_packets_sent", "update_packets_sent", "drops",
         "on_delay_sample", "suppress_update", "updates_suppressed",
+        "reorder_control",
         "_start_next_b", "_finish_b", "_launch_b",
         "_arrive_b", "_call_in", "_call_soon",
     )
@@ -131,6 +132,14 @@ class LinkTransmitter:
         #: it (its own copy crossed ours while we sat in the queue).
         self.suppress_update: Optional[Callable[[Packet], bool]] = None
         self.updates_suppressed = 0
+        #: Adversarial control-packet reordering (fault injection only;
+        #: see :class:`~repro.faults.adversarial.ReorderCircuit`).
+        #: Called with the control-queue length just before a dequeue;
+        #: returns the 0-based queue position to transmit next (0 =
+        #: head, the normal order).  ``None`` -- the production value --
+        #: costs nothing: the check is one ``is not None`` on the cold
+        #: control branch.
+        self.reorder_control: Optional[Callable[[int], int]] = None
         # Pre-bound stage callbacks: each packet passes through all four,
         # so the per-call bound-method allocation is worth avoiding.
         self._start_next_b = self._start_next
@@ -184,7 +193,18 @@ class LinkTransmitter:
         control, data = self._control, self._data
         while True:
             if control:
-                packet = control.popleft()
+                if self.reorder_control is not None and len(control) > 1:
+                    index = self.reorder_control(len(control))
+                else:
+                    index = 0
+                if index:
+                    # Pull a non-head packet (bounded reordering): O(k)
+                    # rotates on a fault-injected circuit only.
+                    control.rotate(-index)
+                    packet = control.popleft()
+                    control.rotate(index)
+                else:
+                    packet = control.popleft()
                 if (
                     self.suppress_update is not None
                     and packet.kind is _ROUTING_UPDATE

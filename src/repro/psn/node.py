@@ -22,13 +22,16 @@ from repro.metrics.base import LinkMetric
 from repro.metrics.queueing import service_time_s
 from repro.obs.profiler import PhaseProfiler, instrument_psn
 from repro.obs.tracer import (
+    DB_PURGED,
     FLOOD_SUPPRESSED,
+    NEIGHBOR_QUARANTINED,
     SPF_BATCH_REPAIR,
     SPF_RECOMPUTE,
     UPDATE_ACCEPTED,
     UPDATE_ACKED,
     UPDATE_FLOODED,
     UPDATE_GENERATED,
+    UPDATE_REJECTED,
     UPDATE_SUPPRESSED,
     Tracer,
 )
@@ -41,6 +44,7 @@ from repro.psn.packet import Packet, PacketKind
 _ROUTING_UPDATE = PacketKind.ROUTING_UPDATE
 _UPDATE_ACK = PacketKind.UPDATE_ACK
 _RFNM = PacketKind.RFNM
+from repro.routing.defense import DefensePolicy, NodeDefense
 from repro.routing.flooding import FloodingState, RoutingUpdate
 from repro.routing.multipath import MultipathRouter
 from repro.routing.spf import UNREACHABLE, CostTable, SpfTree
@@ -124,6 +128,14 @@ class Psn:
         reliable delivery is untouched (no proof means send), but the
         flood stops delivering each update over every circuit twice.
         Scenarios auto-enable this at the large-network threshold.
+    defense_policy:
+        Optional shared :class:`~repro.routing.defense.DefensePolicy`;
+        when given, every received update is screened (cost bounds,
+        sequence plausibility, per-neighbour rate limiting with
+        quarantine) before it can touch the flooding database, and a
+        periodic purge pass evicts entries not refreshed within the
+        policy's age bound (the post-1980 self-stabilization).  ``None``
+        (the default) allocates nothing and adds no checks.
     tracer:
         Optional :class:`~repro.obs.tracer.Tracer` recording this node's
         control-plane events (update generation, flood forwarding,
@@ -153,6 +165,7 @@ class Psn:
         spf_cache: Optional[SpfCache] = None,
         batched_spf: bool = False,
         incremental_flooding: bool = False,
+        defense_policy: Optional[DefensePolicy] = None,
         tracer: Optional[Tracer] = None,
         profiler: Optional[PhaseProfiler] = None,
     ) -> None:
@@ -181,6 +194,23 @@ class Psn:
             network, node_id, neighbor_windows=incremental_flooding
         )
         self._incremental_flooding = incremental_flooding
+        #: Byzantine-fault defense state (None = defenses off: no
+        #: screening, no purge timer, nothing allocated).
+        self.defense: Optional[NodeDefense] = None
+        #: Adversarial stuck-node flag: while True the control plane is
+        #: frozen -- incoming updates and acks are dropped on the floor
+        #: (no ack, no application, no re-flood) and nothing originates.
+        #: The data plane keeps forwarding on the frozen tables.
+        self.control_stuck = False
+        if defense_policy is not None:
+            self.defense = NodeDefense(defense_policy, node_id, self.flooding)
+            self.defense.on_quarantine = self._on_quarantine
+            purge_interval = defense_policy.config.purge_interval_s
+            if purge_interval > 0:
+                sim.timers.every(
+                    purge_interval, self._purge_tick,
+                    first_fire_s=purge_interval,
+                )
         #: Forward hold time per deferring out-link (see below); empty
         #: with incremental flooding off.
         self._defer_s: Dict[int, float] = {}
@@ -378,8 +408,8 @@ class Psn:
                 self.measurement_interval_s
             )
             self.stats.utilization_sample(link_id, utilization, self.sim.now)
-            if not link.up:
-                continue
+            if not link.up or self.control_stuck:
+                continue  # stuck: measurement closes, but nothing reports
             average_delay = self._averager[link_id].take_average()
             cost = self.metric.measured_cost(
                 link, self._metric_state[link_id], average_delay
@@ -390,6 +420,8 @@ class Psn:
 
     def advertise(self, link_id: int, cost: int) -> None:
         """Originate and flood an update about one of our own links."""
+        if self.control_stuck:
+            return  # a frozen control plane reports nothing
         update = self.flooding.originate(link_id, cost)
         self._advertised[link_id] = cost
         self.stats.update_originated(link_id, cost, self.sim.now)
@@ -409,6 +441,8 @@ class Psn:
         update = packet.update
         if update is None:
             raise ValueError(f"routing-update packet without payload: {packet}")
+        if self.control_stuck:
+            return  # frozen control plane: no ack, no apply, no forward
         # Acknowledge on the reverse link -- duplicates too, since the
         # duplicate usually means our earlier ACK was lost.
         self._send_ack(update, via)
@@ -424,6 +458,22 @@ class Psn:
                 if pending is not None and \
                         pending[0].sequence <= update.sequence:
                     del self._unacked[(sent_on, update.key())]
+        if self.defense is not None:
+            # Screen *before* accept, so a rejected update never touches
+            # the flooding database.  It was still ACKed above: the ack
+            # only says "stop retransmitting", not "I believed you" --
+            # and without it a quarantined neighbour's retransmissions
+            # would themselves become an update storm.
+            reason = self.defense.screen(update, via.src, self.sim.now)
+            if reason is not None:
+                if self._trace is not None:
+                    self._trace.emit(
+                        self.sim.now, UPDATE_REJECTED,
+                        node=self.node_id, link=update.link_id,
+                        data={"reason": reason, "origin": update.origin,
+                              "seq": update.sequence, "from": via.src},
+                    )
+                return
         if not self.flooding.accept(update):
             if self._trace is not None:
                 self._trace.emit(
@@ -438,6 +488,8 @@ class Psn:
                 node=self.node_id, link=update.link_id, value=update.cost,
                 data={"origin": update.origin, "seq": update.sequence},
             )
+        if self.defense is not None:
+            self.defense.note_accepted(update, self.sim.now)
         self._apply_update(update)
         self._flood(update, arrived_on=via.link_id)
 
@@ -461,6 +513,8 @@ class Psn:
         update = packet.update
         if update is None:
             raise ValueError(f"update-ack packet without payload: {packet}")
+        if self.control_stuck:
+            return
         # The ACK arrived on the reverse of the link we sent the update on.
         sent_on = via.reverse_id
         pending = self._unacked.get((sent_on, update.key()))
@@ -476,7 +530,7 @@ class Psn:
             )
 
     def _retransmit_tick(self) -> None:
-        if not self._unacked:
+        if not self._unacked or self.control_stuck:
             return
         now = self.sim.now
         overdue: Dict[int, list] = {}
@@ -643,6 +697,61 @@ class Psn:
             return True
 
         return suppress
+
+    # ------------------------------------------------------------------
+    # Defenses / adversarial hooks
+    # ------------------------------------------------------------------
+    def _on_quarantine(self, neighbor: int, until_s: float) -> None:
+        if self._trace is not None:
+            self._trace.emit(
+                self.sim.now, NEIGHBOR_QUARANTINED,
+                node=self.node_id, value=until_s,
+                data={"neighbor": neighbor},
+            )
+
+    def _purge_tick(self) -> None:
+        """Periodic purge-and-reflood self-stabilization pass.
+
+        Evicts flooding-database entries not refreshed within the
+        policy's age bound; the 50-second re-advertisement cap refloods
+        honest entries within one cap interval (see
+        :mod:`repro.routing.defense`).
+        """
+        purged = self.defense.purge(self.sim.now)
+        if purged and self._trace is not None:
+            self._trace.emit(
+                self.sim.now, DB_PURGED,
+                node=self.node_id, value=float(purged),
+            )
+
+    def set_control_stuck(self, stuck: bool) -> None:
+        """Freeze or thaw the control plane (the stuck-node fault)."""
+        self.control_stuck = stuck
+
+    def emit_forged_update(
+        self,
+        link_id: int,
+        cost: int,
+        sequence: Optional[int] = None,
+    ) -> RoutingUpdate:
+        """Adversarial harness: flood a forged update about one own link.
+
+        With ``sequence=None`` the update is protocol-legal -- it spends
+        a real sequence number from the origination counter (the
+        babbling-node fault: well-formed, just far too frequent).  With
+        an explicit ``sequence`` the forgery bypasses the counter
+        entirely (the corrupt-update fault: the counter keeps its honest
+        value, so legitimate later updates carry *smaller* sequence
+        numbers than the forgery -- exactly the 1980 poisoning).
+        Neither path touches ``_advertised`` or the origination stats:
+        forged traffic is the fault, not a report.
+        """
+        if sequence is None:
+            update = self.flooding.originate(link_id, cost)
+        else:
+            update = RoutingUpdate(self.node_id, link_id, cost, sequence)
+        self._flood(update, arrived_on=None)
+        return update
 
     # ------------------------------------------------------------------
     # Link failure / recovery

@@ -56,6 +56,83 @@ def _burst(
     return last, count
 
 
+def containment_summary(simulation: "NetworkSimulation") -> Optional[Dict]:
+    """Condense an adversarial run's containment trajectory.
+
+    ``None`` unless the run's fault plan carried adversarial faults.
+    Reads the injector's periodic containment samples (taken each
+    measurement interval): the poisoned-node count over time, the
+    containment time (when the last poisoned database healed, relative
+    to the first adversarial action), and the update-storm
+    amplification factor (peak post-fault per-interval update rate over
+    the pre-fault median rate).
+    """
+    injector = simulation.fault_injector
+    if injector is None or not injector.plan.adversarial:
+        return None
+    if injector.adversarial_applied:
+        first_fault_s = min(t for t, _, _ in injector.adversarial_applied)
+    else:
+        first_fault_s = min(
+            fault.start_s for fault in injector.plan.adversarial
+        )
+    samples = injector.poison_samples
+    poisoned_peak = max((count for _, count in samples), default=0)
+    poisoned_final = samples[-1][1] if samples else 0
+    #: Containment time: 0 when the poison never took hold, ``None``
+    #: while the last sample is still poisoned (uncontained), otherwise
+    #: the first clean sample after the last poisoned one, relative to
+    #: the first adversarial action.
+    containment_s: Optional[float] = 0.0
+    if poisoned_peak:
+        if poisoned_final:
+            containment_s = None
+        else:
+            last_poisoned = max(t for t, count in samples if count)
+            clean_at = min(t for t, _ in samples if t > last_poisoned)
+            containment_s = max(clean_at - first_fault_s, 0.0)
+    # Per-interval update transmission rates from the cumulative
+    # samples; the pre-fault *median* absorbs the boot-flood interval.
+    tx = injector.update_tx_samples
+    rates = [
+        (tx[i][0], (tx[i][1] - tx[i - 1][1]) / (tx[i][0] - tx[i - 1][0]))
+        for i in range(1, len(tx))
+        if tx[i][0] > tx[i - 1][0]
+    ]
+    before = sorted(rate for t, rate in rates if t <= first_fault_s)
+    after = [rate for t, rate in rates if t > first_fault_s]
+    baseline = before[len(before) // 2] if before else None
+    peak = max(after, default=None)
+    amplification: Optional[float] = None
+    if baseline and peak is not None:
+        amplification = peak / baseline
+    timeline = simulation.timeline
+    during_fraction: Optional[float] = None
+    after_fraction: Optional[float] = None
+    if timeline is not None and samples:
+        end = samples[-1][0]
+        value = timeline.fraction(first_fault_s, end)
+        if not math.isnan(value):
+            during_fraction = min(value, 1.0)
+        if containment_s is not None and containment_s > 0:
+            value = timeline.fraction(first_fault_s + containment_s, end)
+            if not math.isnan(value):
+                after_fraction = min(value, 1.0)
+    return {
+        "first_fault_s": first_fault_s,
+        "adversarial_actions": len(injector.adversarial_applied),
+        "poisoned_peak": poisoned_peak,
+        "poisoned_final": poisoned_final,
+        "containment_s": containment_s,
+        "baseline_update_rate": baseline,
+        "peak_update_rate": peak,
+        "storm_amplification": amplification,
+        "delivery_fraction_during": during_fraction,
+        "delivery_fraction_after": after_fraction,
+        "poison_timeline": [[t, count] for t, count in samples],
+    }
+
+
 def resilience_summary(
     simulation: "NetworkSimulation", quiet_s: float = DEFAULT_QUIET_S
 ) -> Dict:
@@ -112,4 +189,5 @@ def resilience_summary(
         "invariant_violations": (
             len(monitor.violations) if monitor is not None else None
         ),
+        "containment": containment_summary(simulation),
     }

@@ -9,13 +9,23 @@
   1969 distributed Bellman-Ford algorithm with the instantaneous
   queue-length metric, kept as a historical baseline,
 * :class:`~repro.routing.spf_cache.SpfCache` -- network-wide sharing of
-  Dijkstra trees and compiled O(1) next-hop forwarding tables.
+  Dijkstra trees and compiled O(1) next-hop forwarding tables,
+* :class:`~repro.routing.defense.NodeDefense` -- Byzantine-update
+  screening, neighbour quarantine and purge-and-reflood
+  self-stabilization (the post-1980 ARPANET hardening).
 """
 
 from repro.routing.bellman_ford import (
     BellmanFordNode,
     has_routing_loop,
     queue_length_metric,
+)
+from repro.routing.defense import (
+    REJECT_REASONS,
+    DefenseConfig,
+    DefensePolicy,
+    DefenseStats,
+    NodeDefense,
 )
 from repro.routing.flooding import FloodingState, FloodingStats, RoutingUpdate
 from repro.routing.multipath import MultipathRouter
@@ -29,9 +39,14 @@ from repro.routing.spf_cache import (
 __all__ = [
     "BellmanFordNode",
     "CostTable",
+    "DefenseConfig",
+    "DefensePolicy",
+    "DefenseStats",
     "FloodingState",
     "FloodingStats",
     "MultipathRouter",
+    "NodeDefense",
+    "REJECT_REASONS",
     "RoutingUpdate",
     "SpfCache",
     "SpfCacheStats",

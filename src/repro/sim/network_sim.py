@@ -40,6 +40,7 @@ from repro.obs.tracer import CIRCUIT_FAIL, CIRCUIT_RESTORE, Tracer, build_tracer
 from repro.psn.interfaces import DEFAULT_BUFFER_PACKETS, LinkTransmitter
 from repro.psn.node import Psn
 from repro.psn.packet import Packet, PacketKind
+from repro.routing.defense import DefenseConfig, DefensePolicy
 from repro.routing.spf_cache import SpfCache
 from repro.sim.stats import DeliveryTimeline, SimulationReport, StatsCollector
 from repro.topology.graph import Link, Network
@@ -139,6 +140,17 @@ class ScenarioConfig:
     #: The monitor only reads simulation state; checked runs stay
     #: bit-identical to unchecked ones.
     check_invariants: object = False
+    #: Update-screening defenses (see :mod:`repro.routing.defense`):
+    #: ``False`` (off -- the default; no policy is allocated and the
+    #: per-update path is untouched), ``True`` (screen with the default
+    #: :class:`~repro.routing.defense.DefenseConfig`), or a
+    #: ``DefenseConfig`` instance.  Every PSN then validates incoming
+    #: routing updates (cost bounds, sequence plausibility), scores and
+    #: quarantines misbehaving neighbours, and periodically purges aged
+    #: database entries so forged state cannot persist -- the post-1980
+    #: ARPANET hardening.  On a fault-free run the screens accept all
+    #: honest traffic, so defended runs stay bit-identical to bare ones.
+    defenses: object = False
     #: Live metrics pipeline (see :mod:`repro.obs.meters`): ``None``
     #: (off -- the zero-overhead default, nothing is allocated and no
     #: sampler timer is scheduled), ``"memory"`` (snapshots kept on
@@ -169,6 +181,12 @@ class ScenarioConfig:
             raise ValueError(
                 f"check_invariants must be False, True, 'record' or "
                 f"'strict': {self.check_invariants!r}"
+            )
+        if self.defenses not in (False, True) and \
+                not isinstance(self.defenses, DefenseConfig):
+            raise ValueError(
+                f"defenses must be False, True or a DefenseConfig: "
+                f"{self.defenses!r}"
             )
         if self.metrics is not None and not isinstance(self.metrics, str):
             raise ValueError(
@@ -256,6 +274,18 @@ class NetworkSimulation:
             incremental_flooding = (
                 len(network.nodes) >= LARGE_NETWORK_MIN_NODES
             )
+        #: Shared update-screening policy (None with defenses off: the
+        #: per-update fast path then costs one ``is not None`` check).
+        self.defense_policy: Optional[DefensePolicy] = None
+        if self.config.defenses:
+            defense_config = (
+                self.config.defenses
+                if isinstance(self.config.defenses, DefenseConfig)
+                else DefenseConfig()
+            )
+            self.defense_policy = DefensePolicy(
+                network, metric, defense_config
+            )
         self.psns: Dict[int, Psn] = {
             node.node_id: Psn(
                 self.sim,
@@ -279,6 +309,7 @@ class NetworkSimulation:
                 incremental_flooding=incremental_flooding,
                 tracer=self.tracer,
                 profiler=self.profiler,
+                defense_policy=self.defense_policy,
             )
             for node in network
         }

@@ -60,6 +60,11 @@ from repro.sim.network_sim import ScenarioConfig
 from repro.sim.scenarios import build_scenario
 from repro.sim.stats import SimulationReport
 
+#: Backoff sleep hook.  Indirection point only: tests monkeypatch this
+#: to observe the (fully deterministic) retry schedule without waiting
+#: it out in wall-clock time.
+_sleep = time.sleep
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -452,6 +457,12 @@ class _ResilientSweep:
         self.pending = list(range(len(specs)))
         self.pool: Optional[ProcessPoolExecutor] = None
         self._backoff_rounds = 0
+        #: Every backoff delay actually applied, in order.  The schedule
+        #: is a pure function of ``retry_backoff_s`` and the number of
+        #: transient losses -- no wall-clock jitter -- which is what
+        #: makes failure-path tests reproducible; the regression test
+        #: pins this list.
+        self.backoff_delays: List[float] = []
 
     # -- plumbing ------------------------------------------------------
     def _fresh_pool(self) -> ProcessPoolExecutor:
@@ -461,11 +472,18 @@ class _ResilientSweep:
         return self.pool
 
     def _backoff(self) -> None:
-        """Exponential sleep before re-running after a transient loss."""
+        """Exponential sleep before re-running after a transient loss.
+
+        Deterministic by construction: round *r* (0-based) sleeps
+        exactly ``retry_backoff_s * 2**r`` seconds.  The sleep goes
+        through the module-level :data:`_sleep` hook so tests can
+        intercept it and pin the schedule without waiting it out.
+        """
         delay = self.retry_backoff_s * (2 ** self._backoff_rounds)
         self._backoff_rounds += 1
+        self.backoff_delays.append(delay)
         if delay > 0:
-            time.sleep(delay)
+            _sleep(delay)
 
     def _final(self, index: int, error: str, tb: str) -> None:
         spec = self.specs[index]

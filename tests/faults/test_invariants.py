@@ -14,6 +14,7 @@ from repro.faults import (
     FaultPlan,
     InvariantViolation,
     InvariantViolationError,
+    LinkFlap,
 )
 from repro.metrics import HopNormalizedMetric
 from repro.obs.tracer import INVARIANT_VIOLATION
@@ -108,6 +109,49 @@ def test_strict_mode_raises_on_first_violation():
     assert "cost-bounds" in str(excinfo.value)
     # Strict mode stops at the first breach.
     assert len(simulation.invariant_monitor.violations) == 1
+
+
+def test_strict_mode_raises_under_stochastic_flapping():
+    """Strict mode must fire from a *flap*-driven restore too, not just
+    a scripted one: flap transitions re-enter the restored trunk at its
+    maximum cost, so the same tightened bound must trip regardless of
+    which machinery downed the circuit."""
+    built = build_two_region_network(nodes_per_region=3)
+    traffic = TrafficMatrix.two_region(
+        built.west_ids, built.east_ids, inter_region_bps=60_000.0
+    )
+    plan = FaultPlan(flaps=(
+        LinkFlap(BRIDGE, mtbf_s=15.0, mttr_s=5.0, start_s=15.0),
+    ))
+    simulation = NetworkSimulation(
+        built.network, HopNormalizedMetric(), traffic,
+        ScenarioConfig(faults=plan, check_invariants="strict", **_RUN),
+    )
+    _tighten_bound(simulation)
+    with pytest.raises(InvariantViolationError) as excinfo:
+        simulation.run()
+    violation = excinfo.value.violation
+    assert violation.invariant == "cost-bounds"
+    assert violation.link == BRIDGE
+    assert len(simulation.invariant_monitor.violations) == 1
+    # The identical run in record mode survives to the end with the
+    # same first violation, and proves the flap machinery really drives
+    # the run (strict aborts at the first check, which the 56K bridge's
+    # max-cost ease-in boot advertisement already trips).  Fresh
+    # topology: the strict run left its network object mid-flap.
+    rebuilt = build_two_region_network(nodes_per_region=3)
+    recorded = NetworkSimulation(
+        rebuilt.network, HopNormalizedMetric(), traffic,
+        ScenarioConfig(faults=plan, check_invariants="record", **_RUN),
+    )
+    _tighten_bound(recorded)
+    recorded.run()
+    violations = recorded.invariant_monitor.violations
+    assert violations
+    assert violations[0].invariant == violation.invariant
+    assert violations[0].t_s == violation.t_s
+    assert recorded.fault_injector.faults_injected >= 1
+    assert recorded.fault_injector.flap_transitions >= 1
 
 
 def test_violation_serialization():

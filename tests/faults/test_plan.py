@@ -43,6 +43,76 @@ def test_plan_rejects_duplicate_flaps():
         ))
 
 
+def test_same_timestamp_fail_and_restore_orders_restore_after_fail():
+    """Regression: a plan pairing fail+restore of one circuit at one
+    timestamp used to fire in tuple order, so the outcome (circuit up
+    or down) depended on how the plan happened to be written.  Events
+    are now canonicalized at construction: down transitions sort before
+    up transitions at the same instant, so the circuit ends *up*."""
+    backwards = FaultPlan(events=(
+        FaultEvent(30.0, "restore-circuit", link_id=5),
+        FaultEvent(30.0, "fail-circuit", link_id=5),
+    ))
+    forwards = FaultPlan(events=(
+        FaultEvent(30.0, "fail-circuit", link_id=5),
+        FaultEvent(30.0, "restore-circuit", link_id=5),
+    ))
+    assert backwards.events == forwards.events
+    assert [e.action for e in backwards.events] == \
+        ["fail-circuit", "restore-circuit"]
+    # All down-transitions rank together, and the sort is stable: ties
+    # within one rank keep the plan's order.
+    mixed = FaultPlan(events=(
+        FaultEvent(10.0, "restart-node", node_id=1),
+        FaultEvent(10.0, "partition", nodes=(0,)),
+        FaultEvent(10.0, "crash-node", node_id=2),
+        FaultEvent(5.0, "fail-circuit", link_id=1),
+    ))
+    assert [(e.at_s, e.action) for e in mixed.events] == [
+        (5.0, "fail-circuit"),
+        (10.0, "partition"),
+        (10.0, "crash-node"),
+        (10.0, "restart-node"),
+    ]
+
+
+def test_same_timestamp_outage_is_order_independent_in_simulation():
+    import dataclasses
+
+    from repro.metrics import HopNormalizedMetric
+    from repro.sim import NetworkSimulation, ScenarioConfig
+    from repro.topology import build_two_region_network
+    from repro.traffic import TrafficMatrix
+
+    bridge = 12
+
+    def run(plan):
+        built = build_two_region_network(nodes_per_region=3)
+        traffic = TrafficMatrix.two_region(
+            built.west_ids, built.east_ids, inter_region_bps=60_000.0
+        )
+        simulation = NetworkSimulation(
+            built.network, HopNormalizedMetric(), traffic,
+            ScenarioConfig(duration_s=45.0, warmup_s=10.0, seed=5,
+                           faults=plan),
+        )
+        report = simulation.run()
+        return simulation, report
+
+    first_sim, first = run(FaultPlan(events=(
+        FaultEvent(30.0, "restore-circuit", link_id=bridge),
+        FaultEvent(30.0, "fail-circuit", link_id=bridge),
+    )))
+    second_sim, second = run(FaultPlan(events=(
+        FaultEvent(30.0, "fail-circuit", link_id=bridge),
+        FaultEvent(30.0, "restore-circuit", link_id=bridge),
+    )))
+    # Deterministic outcome: the circuit ends up, in either spelling.
+    assert first_sim.network.link(bridge).up
+    assert second_sim.network.link(bridge).up
+    assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+
 def test_single_outage_shape():
     plan = FaultPlan.single_outage(7, 30.0, 60.0)
     assert [e.action for e in plan.events] == \

@@ -92,6 +92,71 @@ def test_run_many_validates_resilience_arguments():
         run_many([], timeout_s=0.0)
 
 
+def test_retry_backoff_schedule_is_deterministic(monkeypatch):
+    """Regression: the retry backoff must be a pure function of
+    ``retry_backoff_s`` and the loss count -- no wall-clock jitter --
+    so failure-path tests can pin the exact schedule.  The sleep goes
+    through the module-level ``_sleep`` hook, which is what lets this
+    test observe it without waiting it out."""
+    from repro.sim import parallel
+
+    slept = []
+    monkeypatch.setattr(parallel, "_sleep", slept.append)
+    sweep = parallel._ResilientSweep(
+        [], processes=1, timeout_s=None, retries=4,
+        retry_backoff_s=0.5, fail_fast=False,
+    )
+    for _ in range(4):
+        sweep._backoff()
+    assert sweep.backoff_delays == [0.5, 1.0, 2.0, 4.0]
+    assert slept == sweep.backoff_delays
+    # Zero backoff still records the (all-zero) schedule, but never
+    # touches the sleep hook at all.
+    slept.clear()
+    instant = parallel._ResilientSweep(
+        [], processes=1, timeout_s=None, retries=2,
+        retry_backoff_s=0.0, fail_fast=False,
+    )
+    instant._backoff()
+    instant._backoff()
+    assert instant.backoff_delays == [0.0, 0.0]
+    assert slept == []
+
+
+@pytest.mark.slow
+def test_pool_retries_record_their_backoff_schedule(monkeypatch):
+    """End to end: a crash-then-retry sweep applies exactly the
+    documented exponential schedule, observable on ``backoff_delays``
+    via the recording seam (the monkeypatched sleep keeps the test
+    fast)."""
+    from repro.sim import parallel
+
+    slept = []
+    monkeypatch.setattr(parallel, "_sleep", slept.append)
+    schedules = []
+    original = parallel._ResilientSweep.run
+
+    def record(self):
+        try:
+            return original(self)
+        finally:
+            schedules.append(list(self.backoff_delays))
+
+    monkeypatch.setattr(parallel._ResilientSweep, "run", record)
+    specs = [_GOOD[0], RunSpec("_poison-exit", ScenarioConfig(seed=5))]
+    batch = run_many(
+        specs, processes=2, on_error="collect",
+        retries=2, retry_backoff_s=0.25,
+    )
+    [failure] = batch.failures
+    assert failure.attempts == 3
+    [schedule] = schedules
+    # One backoff per transient loss, doubling from retry_backoff_s.
+    assert schedule == [0.25 * 2 ** i for i in range(len(schedule))]
+    assert len(schedule) >= 2
+    assert slept == schedule
+
+
 def test_multiline_cause_survives_pickling_with_traceback():
     """Worker tracebacks reach the parent verbatim through the pool's
     exception pickling (exception *chaining* does not pickle)."""
