@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""MILNET-scale sweep: the large generated topologies as one fleet.
+
+Drives the three MILNET-and-beyond scale rungs (``grid64``,
+``rand256``, ``rand512``) through ``run_many(..., stream=True)`` with
+the full fast-path configuration -- calendar queue, batched SPF repair,
+incremental flooding, duplicate-ack suppression -- and folds the
+streamed worker telemetry into one fleet summary.  ``on_error=
+"collect"`` is the resilience story: a crashed rung becomes a recorded
+failure with a replay recipe, never a dead sweep -- and the streamed
+per-checkpoint deltas keep the fleet aggregate readable mid-flight,
+not only after the slowest rung finishes.
+
+Run:  python examples/milnet_sweep.py
+"""
+
+from repro.sim import RunSpec, ScenarioConfig, StreamConfig, run_many
+
+#: (scenario, duration_s, warmup_s) -- durations shrink as the rung
+#: grows so each run's event count stays example-sized.
+RUNGS = (
+    ("grid64", 20.0, 5.0),
+    ("rand256", 4.0, 1.0),
+    ("rand512", 2.0, 0.5),
+)
+
+
+def fast_path_config(duration_s: float, warmup_s: float) -> ScenarioConfig:
+    return ScenarioConfig(
+        duration_s=duration_s, warmup_s=warmup_s, seed=3,
+        scheduler="calendar", batched_spf=True,
+        incremental_flooding=True, dup_ack_suppression=True,
+    )
+
+
+def main() -> None:
+    specs = [
+        RunSpec(name, fast_path_config(duration_s, warmup_s))
+        for name, duration_s, warmup_s in RUNGS
+    ]
+    fleet = run_many(
+        specs,
+        on_error="collect",     # a failed rung is reported, not fatal
+        stream=StreamConfig(checkpoint_s=2.0),
+    )
+
+    print("MILNET-scale sweep (calendar + batched SPF + incremental "
+          "flooding + dup-ack suppression)\n")
+    header = (f"{'scenario':<10} {'delivered':>10} {'ratio':>6} "
+              f"{'events':>10} {'updates':>8} {'acks':>8} "
+              f"{'dup skip':>8} {'piggy':>6} {'retrans':>7}")
+    print(header)
+    print("-" * len(header))
+    for spec, report in zip(specs, fleet.reports):
+        if report is None:
+            print(f"{spec.scenario:<10} FAILED")
+            continue
+        t = report.telemetry
+        print(f"{spec.scenario:<10} {report.delivered_packets:>10} "
+              f"{report.delivery_ratio:>6.3f} {t.events_processed:>10} "
+              f"{t.update_packets_sent:>8} {t.ack_packets_sent:>8} "
+              f"{t.dup_acks_suppressed:>8} {t.owed_acks_piggybacked:>6} "
+              f"{t.updates_retransmitted:>7}")
+
+    total = fleet.telemetry
+    print(f"\nfleet: {fleet.progress.status()}; "
+          f"{total.events_processed} events across {total.runs} runs, "
+          f"{total.control_packets_sent} control packets "
+          f"({total.ack_packets_sent} acks, "
+          f"{total.dup_acks_suppressed} duplicate-acks suppressed, "
+          f"{total.owed_acks_piggybacked} owed acks piggybacked)")
+    for failure in fleet.failures:
+        print(f"failure: {failure}")
+    if fleet.ok:
+        print("all rungs completed; retransmissions stayed at "
+              f"{total.updates_retransmitted} "
+              "(suppression never cost reliability)")
+
+
+if __name__ == "__main__":
+    main()

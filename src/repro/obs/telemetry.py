@@ -58,6 +58,14 @@ class RunTelemetry:
     flood_duplicates_avoided: int = 0
     #: Window entries evicted to stay under the per-neighbour bound.
     flood_window_evictions: int = 0
+    #: Explicit duplicate-acks skipped (duplicate-ack suppression).
+    dup_acks_suppressed: int = 0
+    #: Owed acks paid explicitly after a skip's proof failed.
+    owed_acks_sent: int = 0
+    #: Owed-ack payments that rode a queued control packet's header.
+    owed_acks_piggybacked: int = 0
+    #: Updates retransmitted by the per-link reliability timer.
+    updates_retransmitted: int = 0
 
     # -- SPF cache ------------------------------------------------------
     cache_table_hits: int = 0
@@ -70,6 +78,8 @@ class RunTelemetry:
     data_packets_sent: int = 0
     control_packets_sent: int = 0
     update_packets_sent: int = 0
+    #: Update acknowledgements transmitted (a subset of control).
+    ack_packets_sent: int = 0
     transmitter_drops: int = 0
     line_error_losses: int = 0
 
@@ -218,6 +228,10 @@ class RunTelemetry:
                 flood.suppressed_flood + flood.suppressed_wire
             )
             telemetry.flood_window_evictions += flood.window_evictions
+            telemetry.dup_acks_suppressed += flood.dup_acks_suppressed
+            telemetry.owed_acks_sent += flood.owed_acks_sent
+            telemetry.owed_acks_piggybacked += flood.owed_acks_piggybacked
+            telemetry.updates_retransmitted += flood.retransmitted
         cache = simulation.spf_cache
         if cache is not None:
             telemetry.cache_table_hits = cache.stats.table_hits
@@ -229,6 +243,7 @@ class RunTelemetry:
             telemetry.data_packets_sent += transmitter.data_packets_sent
             telemetry.control_packets_sent += transmitter.control_packets_sent
             telemetry.update_packets_sent += transmitter.update_packets_sent
+            telemetry.ack_packets_sent += transmitter.ack_packets_sent
             telemetry.transmitter_drops += transmitter.drops
             telemetry.line_error_losses += transmitter.line_error_losses
         injector = getattr(simulation, "fault_injector", None)

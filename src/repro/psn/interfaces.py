@@ -15,12 +15,18 @@ drops (Figure 13's dropped packets) happen.
 
 This is the hottest code in the simulator -- every packet crosses a
 transmitter at every hop -- so it runs on the kernel's scheduled-call
-fast lane rather than as a generator process: starting a transmission,
-finishing it, and delivering after propagation are each one slotted heap
-entry, with no Event, Process or generator frame per packet.  The event
-ordering is identical to the original process formulation (each callback
-is scheduled exactly where the old process allocated its corresponding
-event), which is what keeps same-seed runs bit-identical.
+fast lane rather than as a generator process, with a **chained service
+loop**: only the head-of-line departure is ever scheduled, and finishing
+one transmission both launches that packet's propagation directly (one
+``call_in`` to arrival -- no intermediate launch event) and chains the
+next transmission.  Two kernel entries per packet per hop, down from the
+three the process formulation needed.  Utilization is accounted by
+**interval accumulation**: a busy period opens when the wire goes from
+quiet to transmitting and closes when the queues drain, instead of
+summing per-packet transmission times -- same totals, one add per busy
+period instead of one per packet.  Dead packets (drops, wire-suppressed
+updates, line-error losses, flushes) go back to the packet freelist (see
+:mod:`repro.psn.packet`).
 """
 
 from __future__ import annotations
@@ -29,13 +35,14 @@ from collections import deque
 from typing import Callable, Optional
 
 from repro.des import Simulator
-from repro.psn.packet import Packet, PacketKind
+from repro.psn.packet import Packet, PacketKind, release
 from repro.topology.graph import Link
 
 #: Hot-path aliases: one global load instead of two attribute chases.
 _DATA = PacketKind.DATA
 _ROUTING_UPDATE = PacketKind.ROUTING_UPDATE
 _DISTANCE_VECTOR = PacketKind.DISTANCE_VECTOR
+_UPDATE_ACK = PacketKind.UPDATE_ACK
 
 #: Nodal processing overhead added to every forwarded packet (seconds).
 PROCESSING_DELAY_S = 0.001
@@ -73,12 +80,13 @@ class LinkTransmitter:
     __slots__ = (
         "sim", "link", "deliver", "on_drop", "error_rate", "error_rng",
         "line_error_losses", "_data", "_capacity", "_control", "_idle",
-        "_bandwidth_bps", "_propagation_s", "busy_s",
+        "_bandwidth_bps", "_propagation_s", "busy_s", "_busy_since",
         "bits_sent", "data_bits_sent", "data_packets_sent",
-        "control_packets_sent", "update_packets_sent", "drops",
+        "control_packets_sent", "update_packets_sent",
+        "ack_packets_sent", "drops",
         "on_delay_sample", "suppress_update", "updates_suppressed",
         "reorder_control",
-        "_start_next_b", "_finish_b", "_launch_b",
+        "_start_next_b", "_finish_b",
         "_arrive_b", "_call_in", "_call_soon",
     )
 
@@ -117,11 +125,17 @@ class LinkTransmitter:
         #: pending.  Flipped by send(); flipped back when the queues drain.
         self._idle = True
         self.busy_s = 0.0
+        #: Start of the open busy period (None while the wire is quiet).
+        #: Folded into ``busy_s`` when the queues drain or at a
+        #: utilization read -- one accumulation per busy period instead
+        #: of one per packet.
+        self._busy_since: Optional[float] = None
         self.bits_sent = 0.0
         self.data_bits_sent = 0.0
         self.data_packets_sent = 0
         self.control_packets_sent = 0
         self.update_packets_sent = 0
+        self.ack_packets_sent = 0
         self.drops = 0
         #: Delay samples are reported here; installed by the owning PSN.
         self.on_delay_sample: Optional[Callable[[float], None]] = None
@@ -140,11 +154,10 @@ class LinkTransmitter:
         #: costs nothing: the check is one ``is not None`` on the cold
         #: control branch.
         self.reorder_control: Optional[Callable[[int], int]] = None
-        # Pre-bound stage callbacks: each packet passes through all four,
-        # so the per-call bound-method allocation is worth avoiding.
+        # Pre-bound stage callbacks: each packet passes through all of
+        # them, so the per-call bound-method allocation is worth avoiding.
         self._start_next_b = self._start_next
         self._finish_b = self._finish_transmission
-        self._launch_b = self._launch_propagation
         self._arrive_b = self._arrive
         self._call_in = sim.call_in
         self._call_soon = sim.call_soon
@@ -175,6 +188,27 @@ class LinkTransmitter:
             # at this instant -- the ordering the process version had.
             self._idle = False
             self._call_soon(self._start_next_b)
+        return True
+
+    def piggyback_ack(self, update) -> bool:
+        """Attach an update acknowledgement to the next queued control packet.
+
+        The real IMP protocol carried update acks as header bits on
+        whatever packet next crossed the line; duplicate-ack
+        suppression's owed-ack payment uses the same trick -- when a
+        control packet is already queued toward the neighbour being
+        acked, the debt rides along for free instead of costing a
+        standalone ack packet.  Returns ``False`` when the control queue
+        is empty (the caller falls back to an explicit ack packet).
+        """
+        control = self._control
+        if not control:
+            return False
+        carrier = control[0]
+        if carrier.acks is None:
+            carrier.acks = [update]
+        else:
+            carrier.acks.append(update)
         return True
 
     def queue_length(self) -> int:
@@ -211,18 +245,26 @@ class LinkTransmitter:
                     and self.suppress_update(packet)
                 ):
                     self.updates_suppressed += 1
+                    release(packet)
                     continue
             elif data:
                 packet = data.popleft()
             else:
                 self._idle = True
+                if self._busy_since is not None:
+                    # The queues drained: close the busy period.
+                    self.busy_s += self.sim.now - self._busy_since
+                    self._busy_since = None
                 return
             if not self.link.up:
                 # Wire is dead: the packet is lost (counted as a drop).
                 self.drops += 1
                 if self.on_drop is not None:
                     self.on_drop(packet, self.link)
+                release(packet)
                 continue
+            if self._busy_since is None:
+                self._busy_since = self.sim.now
             queueing_s = self.sim.now - packet.enqueued_s
             transmission_s = packet.size_bits / self._bandwidth_bps
             self._call_in(
@@ -234,10 +276,10 @@ class LinkTransmitter:
     def _finish_transmission(
         self, packet: Packet, queueing_s: float, transmission_s: float
     ) -> None:
-        """The last bit left the wire: account, launch propagation, next."""
-        self.busy_s += transmission_s
+        """The last bit left the wire: account, launch, chain the next."""
         self.bits_sent += packet.size_bits
-        if packet.kind is _DATA:
+        kind = packet.kind
+        if kind is _DATA:
             self.data_packets_sent += 1
             self.data_bits_sent += packet.size_bits
             if self.on_delay_sample is not None:
@@ -249,14 +291,13 @@ class LinkTransmitter:
                 )
         else:
             self.control_packets_sent += 1
-            if packet.kind is _ROUTING_UPDATE or \
-                    packet.kind is _DISTANCE_VECTOR:
+            if kind is _ROUTING_UPDATE or kind is _DISTANCE_VECTOR:
                 self.update_packets_sent += 1
-        self._call_soon(self._launch_b, packet)
-        self._start_next()
-
-    def _launch_propagation(self, packet: Packet) -> None:
+            elif kind is _UPDATE_ACK:
+                self.ack_packets_sent += 1
+        # Chained launch: the packet flies now; no intermediate event.
         self._call_in(self._propagation_s, self._arrive_b, packet)
+        self._start_next()
 
     def _arrive(self, packet: Packet) -> None:
         """The packet finished flying down the wire; deliver it."""
@@ -268,6 +309,7 @@ class LinkTransmitter:
                 self.drops += 1
                 if self.on_drop is not None:
                     self.on_drop(packet, self.link)
+            release(packet)
             return
         packet.trail.append(self.link.link_id)
         self.deliver(packet, self.link)
@@ -285,7 +327,10 @@ class LinkTransmitter:
             self.drops += 1
             if self.on_drop is not None:
                 self.on_drop(packet, self.link)
+            release(packet)
         self._data.clear()
+        for packet in self._control:
+            release(packet)
         self._control.clear()
         return discarded
 
@@ -293,6 +338,12 @@ class LinkTransmitter:
         """Busy fraction since the last call; resets the accumulator."""
         if interval_s <= 0:
             raise ValueError(f"interval must be positive, got {interval_s}")
+        if self._busy_since is not None:
+            # A transmission spans the boundary: attribute the elapsed
+            # part to this interval and restart the period at the read.
+            now = self.sim.now
+            self.busy_s += now - self._busy_since
+            self._busy_since = now
         utilization = min(self.busy_s / interval_s, 1.0)
         self.busy_s = 0.0
         return utilization

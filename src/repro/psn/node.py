@@ -14,7 +14,6 @@ simultaneously and fuels D-SPF's oscillation.
 
 from __future__ import annotations
 
-from itertools import count
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.des import RandomStreams, Simulator
@@ -38,7 +37,7 @@ from repro.obs.tracer import (
 from repro.psn.flow_control import RFNM_BITS, HostInterface
 from repro.psn.interfaces import PROCESSING_DELAY_S, LinkTransmitter
 from repro.psn.measurement import DelayAverager, SignificanceCriterion
-from repro.psn.packet import Packet, PacketKind
+from repro.psn.packet import Packet, PacketKind, acquire, release
 
 #: Hot-path aliases: one global load instead of two attribute chases.
 _ROUTING_UPDATE = PacketKind.ROUTING_UPDATE
@@ -78,8 +77,6 @@ UPDATE_RETRANSMIT_S = 1.0
 #: peer's symmetric copy -- sent when ours was decided -- arrive and
 #: plant the suppression proof before ours hits the wire.
 FLOOD_DEFER_FLIGHTS = 2.0
-
-_packet_ids = count()
 
 
 class Psn:
@@ -128,6 +125,24 @@ class Psn:
         reliable delivery is untouched (no proof means send), but the
         flood stops delivering each update over every circuit twice.
         Scenarios auto-enable this at the large-network threshold.
+    dup_ack_suppression:
+        Skip the explicit acknowledgement of a *duplicate* update when
+        this node's own copy of the same (or a newer) update was already
+        queued toward the sender -- that copy's arrival acts as the
+        implicit ack, so the explicit one is redundant.  The skip keeps
+        an **owed-ack** record: if the wire-time suppressor later
+        cancels the en-route copy (the proof evaporates), the owed ack
+        is paid on the spot -- piggybacked on the next queued control
+        packet's header when the backlog offers a carrier (acks were
+        header bits in the real IMP protocol), standalone otherwise --
+        and if the sender retransmits
+        anyway (the copy was lost to line noise, or the sender was
+        stuck when it arrived) the second duplicate is acknowledged
+        unconditionally.  Retransmission reliability is therefore
+        untouched: every skip either becomes an implicit ack or is
+        repaid within one retransmission period.  Requires (and is
+        forced off without) ``incremental_flooding``, whose sent/acked
+        windows carry the proofs.
     defense_policy:
         Optional shared :class:`~repro.routing.defense.DefensePolicy`;
         when given, every received update is screened (cost bounds,
@@ -165,6 +180,7 @@ class Psn:
         spf_cache: Optional[SpfCache] = None,
         batched_spf: bool = False,
         incremental_flooding: bool = False,
+        dup_ack_suppression: bool = False,
         defense_policy: Optional[DefensePolicy] = None,
         tracer: Optional[Tracer] = None,
         profiler: Optional[PhaseProfiler] = None,
@@ -194,6 +210,16 @@ class Psn:
             network, node_id, neighbor_windows=incremental_flooding
         )
         self._incremental_flooding = incremental_flooding
+        #: Duplicate-ack suppression rides on the incremental-flooding
+        #: windows (they carry the en-route proof); without them there
+        #: is never a proof, so the knob degrades to off.
+        self._dup_ack = dup_ack_suppression and incremental_flooding
+        #: Owed acknowledgements: (out link id, update key) -> the
+        #: sequence whose en-route copy justified skipping an explicit
+        #: duplicate ack.  Settled silently when the neighbour's ack
+        #: arrives, paid explicitly when the wire-time suppressor
+        #: cancels the en-route copy or the neighbour retransmits.
+        self._ack_owed: Dict[tuple, int] = {}
         #: Byzantine-fault defense state (None = defenses off: no
         #: screening, no purge timer, nothing allocated).
         self.defense: Optional[NodeDefense] = None
@@ -329,29 +355,36 @@ class Psn:
         self._inject_now(dst, size_bits)
 
     def _inject_now(self, dst: int, size_bits: float) -> None:
-        packet = Packet(
-            packet_id=next(_packet_ids),
-            kind=PacketKind.DATA,
-            src=self.node_id,
-            dst=dst,
-            size_bits=size_bits,
-            created_s=self.sim.now,
-        )
-        self.forward(packet)
+        self.forward(acquire(
+            PacketKind.DATA, self.node_id, dst, size_bits, self.sim.now,
+        ))
 
     def receive(self, packet: Packet, via: Link) -> None:
-        """Handle a packet delivered by a neighbour's transmitter."""
+        """Handle a packet delivered by a neighbour's transmitter.
+
+        Every terminal fate (an update or ack consumed, a message or
+        RFNM at its destination) releases the packet back to the
+        freelist; transit packets pass to :meth:`forward`, which owns
+        them from then on.
+        """
         kind = packet.kind
         if kind is _ROUTING_UPDATE:
+            if packet.acks is not None:
+                self._drain_piggyback(packet, via)
             self._handle_update(packet, via)
+            release(packet)
             return
         if kind is _UPDATE_ACK:
+            if packet.acks is not None:
+                self._drain_piggyback(packet, via)
             self._handle_ack(packet, via)
+            release(packet)
             return
         if kind is _RFNM:
             if packet.dst == self.node_id:
                 if self.host is not None:
                     self.host.on_rfnm(packet.src)
+                release(packet)
             else:
                 self.forward(packet)
             return
@@ -359,20 +392,16 @@ class Psn:
             self.stats.packet_delivered(packet, self.sim.now)
             if self.host is not None:
                 self._send_rfnm(packet)
+            release(packet)
             return
         self.forward(packet)
 
     def _send_rfnm(self, delivered: Packet) -> None:
         """Acknowledge a delivered message back to its source PSN."""
-        rfnm = Packet(
-            packet_id=next(_packet_ids),
-            kind=PacketKind.RFNM,
-            src=self.node_id,
-            dst=delivered.src,
-            size_bits=RFNM_BITS,
-            created_s=self.sim.now,
-        )
-        self.forward(rfnm)
+        self.forward(acquire(
+            PacketKind.RFNM, self.node_id, delivered.src,
+            RFNM_BITS, self.sim.now,
+        ))
 
     def forward(self, packet: Packet) -> None:
         """Single-path, destination-based forwarding."""
@@ -381,6 +410,7 @@ class Psn:
             self.flush_pending_updates()
         if len(packet.trail) >= MAX_HOPS:
             self.stats.packet_dropped(packet, "hop-limit", self.sim.now)
+            release(packet)
             return
         if self.router is not None:
             link_id = self.router.next_hop_link(packet.dst, src=packet.src)
@@ -395,6 +425,7 @@ class Psn:
             link_id = self.tree.next_hop_link(packet.dst)
         if link_id is None:
             self.stats.packet_dropped(packet, "unreachable", self.sim.now)
+            release(packet)
             return
         self.transmitters[link_id].send(packet)
 
@@ -443,14 +474,14 @@ class Psn:
             raise ValueError(f"routing-update packet without payload: {packet}")
         if self.control_stuck:
             return  # frozen control plane: no ack, no apply, no forward
-        # Acknowledge on the reverse link -- duplicates too, since the
-        # duplicate usually means our earlier ACK was lost.
-        self._send_ack(update, via)
         if self._incremental_flooding:
             # The neighbour forwarded this, so it has it: remember that
             # (window), and treat it as an implicit ack for any older
             # copy of the same key still awaiting retransmission toward
             # that neighbour -- its information is superseded anyway.
+            # (Bookkeeping only -- no events -- so running it before the
+            # ack decision below changes nothing except that the
+            # decision sees current windows.)
             sent_on = via.reverse_id
             self.flooding.note_received(sent_on, update)
             if sent_on is not None:
@@ -458,6 +489,11 @@ class Psn:
                 if pending is not None and \
                         pending[0].sequence <= update.sequence:
                     del self._unacked[(sent_on, update.key())]
+        # Acknowledge on the reverse link -- duplicates too, since the
+        # duplicate usually means our earlier ACK was lost -- unless
+        # duplicate-ack suppression can prove the explicit ack redundant.
+        if not self._dup_ack or not self._skip_duplicate_ack(update, via):
+            self._send_ack(update, via)
         if self.defense is not None:
             # Screen *before* accept, so a rejected update never touches
             # the flooding database.  It was still ACKed above: the ack
@@ -493,21 +529,101 @@ class Psn:
         self._apply_update(update)
         self._flood(update, arrived_on=via.link_id)
 
+    def _skip_duplicate_ack(self, update: RoutingUpdate, via: Link) -> bool:
+        """Whether a duplicate update's explicit ack can be skipped.
+
+        True only when the sender provably does not need it: either it
+        already acknowledged our own copy of this sequence (so its
+        retransmission state for the key is long cleared), or our copy
+        was queued toward it and its arrival will be the implicit ack.
+        The latter skip records an owed ack; see ``dup_ack_suppression``
+        in the class docstring for how the debt is always repaid when
+        the proof fails.  Fresh (non-duplicate) updates are always
+        acknowledged explicitly.
+        """
+        reverse_id = via.reverse_id
+        if reverse_id is None:
+            return False
+        flooding = self.flooding
+        sequence = update.sequence
+        if not flooding.already_seen(update):
+            return False  # fresh update: ack it
+        key = update.key()
+        owed = self._ack_owed.get((reverse_id, key))
+        if owed is not None and owed >= sequence:
+            # We skipped once for this proof and the sender is *still*
+            # retransmitting -- the en-route copy never took effect
+            # (line noise, or the sender was stuck when it arrived).
+            # Pay the debt unconditionally; no third round can happen.
+            del self._ack_owed[(reverse_id, key)]
+            self._pay_owed_ack(update, reverse_id)
+            return True
+        if flooding.neighbor_acked(reverse_id, key) >= sequence:
+            # The sender explicitly acknowledged our own copy of this
+            # sequence, which means it received (and processed) it; its
+            # retransmission state is already clear.
+            flooding.stats.dup_acks_suppressed += 1
+            return True
+        if flooding.sent_seq(reverse_id, key) >= sequence:
+            # Our own copy is queued/en route toward the sender: its
+            # arrival is the implicit ack.  Remember the debt in case
+            # the wire-time suppressor cancels that copy.
+            self._ack_owed[(reverse_id, key)] = sequence
+            flooding.stats.dup_acks_suppressed += 1
+            return True
+        return False
+
     def _send_ack(self, update: RoutingUpdate, via: Link) -> None:
         if via.reverse_id is None:
             return
         reverse = self.transmitters.get(via.reverse_id)
         if reverse is None or not self.network.link(via.reverse_id).up:
             return
-        reverse.send(Packet(
-            packet_id=next(_packet_ids),
-            kind=PacketKind.UPDATE_ACK,
-            src=self.node_id,
-            dst=via.src,
-            size_bits=ACK_PACKET_BITS,
-            created_s=self.sim.now,
-            update=update,
+        reverse.send(acquire(
+            PacketKind.UPDATE_ACK, self.node_id, via.src,
+            ACK_PACKET_BITS, self.sim.now, update=update,
         ))
+
+    def _place_ack(self, update: RoutingUpdate, link_id: int) -> bool:
+        """Deliver one owed acknowledgement toward ``link_id``'s neighbour.
+
+        Piggybacks on the next queued control packet when one exists
+        (the real IMP protocol carried acks as header bits, so a queued
+        update tows the ack for free); otherwise sends a standalone ack
+        packet.  Returns ``True`` when the ack rode a carrier.
+        """
+        transmitter = self.transmitters.get(link_id)
+        if transmitter is None or not self.network.link(link_id).up:
+            return False
+        if transmitter.piggyback_ack(update):
+            return True
+        transmitter.send(acquire(
+            PacketKind.UPDATE_ACK, self.node_id,
+            self.network.link(link_id).dst,
+            ACK_PACKET_BITS, self.sim.now, update=update,
+        ))
+        return False
+
+    def _pay_owed_ack(self, update: RoutingUpdate, link_id: int) -> None:
+        """Pay an owed duplicate-ack on ``link_id`` right now.
+
+        Called by the wire-time suppressor when it cancels the en-route
+        copy whose arrival was going to act as the implicit ack.  The
+        payment piggybacks on the control backlog when it can; a
+        standalone re-entrant send lands in the transmitter's control
+        queue and goes out in the same dequeue loop.
+        """
+        self.flooding.stats.owed_acks_sent += 1
+        if self._place_ack(update, link_id):
+            self.flooding.stats.owed_acks_piggybacked += 1
+
+    def _drain_piggyback(self, packet: Packet, via: Link) -> None:
+        """Process acknowledgements riding a control packet's header."""
+        if self.control_stuck:
+            return
+        sent_on = via.reverse_id
+        for update in packet.acks:
+            self._register_ack(update, sent_on)
 
     def _handle_ack(self, packet: Packet, via: Link) -> None:
         update = packet.update
@@ -516,10 +632,22 @@ class Psn:
         if self.control_stuck:
             return
         # The ACK arrived on the reverse of the link we sent the update on.
-        sent_on = via.reverse_id
+        self._register_ack(update, via.reverse_id)
+
+    def _register_ack(
+        self, update: RoutingUpdate, sent_on: Optional[int]
+    ) -> None:
+        """One acknowledgement (explicit or piggybacked) took effect."""
         pending = self._unacked.get((sent_on, update.key()))
         if pending is not None and pending[0].sequence <= update.sequence:
             del self._unacked[(sent_on, update.key())]
+        if self._ack_owed:
+            # The neighbour acknowledged our copy, so it received and
+            # processed it -- the implicit ack we were counting on took
+            # effect and any owed-ack debt for the key is settled.
+            owed = self._ack_owed.get((sent_on, update.key()))
+            if owed is not None and update.sequence >= owed:
+                del self._ack_owed[(sent_on, update.key())]
         self.flooding.note_acked(sent_on, update)
         if self._trace is not None:
             self._trace.emit(
@@ -553,6 +681,7 @@ class Psn:
             # node's pending costs in a single update packet).
             for update in updates:
                 self._transmit_update(update, link_id)
+                self.flooding.stats.retransmitted += 1
 
     def flush_pending_updates(self) -> None:
         """Apply any buffered routing updates in one batched SPF pass."""
@@ -619,14 +748,9 @@ class Psn:
 
     def _transmit_update(self, update: RoutingUpdate, link_id: int) -> None:
         """Send one update on one link, arming its retransmission."""
-        packet = Packet(
-            packet_id=next(_packet_ids),
-            kind=PacketKind.ROUTING_UPDATE,
-            src=self.node_id,
-            dst=None,
-            size_bits=UPDATE_PACKET_BITS,
-            created_s=self.sim.now,
-            update=update,
+        packet = acquire(
+            PacketKind.ROUTING_UPDATE, self.node_id, None,
+            UPDATE_PACKET_BITS, self.sim.now, update=update,
         )
         # A newer update for the same (origin, link) supersedes any
         # older one still awaiting its ACK on this link.
@@ -662,8 +786,7 @@ class Psn:
                           "on": link_id},
                 )
             return
-        sent = flooding._sent_to.get(link_id)
-        if sent is not None and sent.get(key, 0) >= sequence:
+        if flooding.sent_seq(link_id, key) >= sequence:
             flooding.stats.suppressed_flood += 1
             return
         self._transmit_update(update, link_id)
@@ -687,6 +810,22 @@ class Psn:
             pending = self._unacked.get((link_id, key))
             if pending is not None and pending[0].sequence <= known:
                 del self._unacked[(link_id, key)]
+            owed = self._ack_owed.get((link_id, key))
+            if owed is not None and update.sequence >= owed:
+                # This queued copy was the en-route proof that let us
+                # skip an explicit duplicate ack; cancelling it would
+                # leave the neighbour retransmitting with no ack ever
+                # coming.  Pay the owed ack explicitly, right now.
+                del self._ack_owed[(link_id, key)]
+                self._pay_owed_ack(update, link_id)
+            riding = packet.acks
+            if riding is not None:
+                # The cancelled carrier had owed acks riding its header;
+                # re-home them on the next queued control packet (or as
+                # standalone ack packets if the queue just drained).
+                packet.acks = None
+                for owed_update in riding:
+                    self._place_ack(owed_update, link_id)
             if self._trace is not None:
                 self._trace.emit(
                     self.sim.now, FLOOD_SUPPRESSED,
@@ -768,6 +907,10 @@ class Psn:
         # the neighbour will re-learn everything when the link returns.
         for key in [k for k in self._unacked if k[0] == link_id]:
             del self._unacked[key]
+        # Owed duplicate-acks toward that neighbour are moot for the
+        # same reason: its retransmission state resets with the circuit.
+        for key in [k for k in self._ack_owed if k[0] == link_id]:
+            del self._ack_owed[key]
         self.advertise(link_id, DOWN_COST)
 
     def local_link_up(self, link_id: int) -> None:

@@ -1,15 +1,28 @@
-"""Packets.
+"""Packets, and the packet freelist.
 
 Two kinds travel the network: user data and routing updates.  The header
 carries only the destination PSN -- the paper points out that destination-
 based forwarding is possible *because* shortest paths are hereditary and
 all PSNs share a consistent view of link costs.
+
+Packets are the simulator's dominant allocation: one slotted object per
+packet, created at injection and discarded at delivery (or at a drop),
+with every hop touching it in between.  :func:`acquire` / :func:`release`
+turn that allocate-and-discard cycle into a bounded freelist -- a
+released packet keeps its slots *and its trail list* and is re-issued
+with a fresh packet id, so the hot path stops exercising the allocator
+entirely once the pool warms up.  Pooling is pure mechanics: ids still
+come from one monotonic counter, field values are fully reset on
+acquire, and nothing downstream retains packets past their release
+points (the stats collector copies what it needs), so pooled and
+unpooled runs are bit-identical.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from itertools import count
 from typing import List, Optional
 
 from repro.routing.flooding import RoutingUpdate
@@ -51,6 +64,11 @@ class Packet:
     trail: List[int] = field(default_factory=list)
     #: Set by the transmitter when the packet is queued on an output link.
     enqueued_s: float = 0.0
+    #: Piggybacked update acknowledgements riding this control packet's
+    #: header (the real IMP protocol carried acks as header bits).  Only
+    #: ever set on queued control packets by duplicate-ack suppression's
+    #: owed-ack payment; None on the hot data path.
+    acks: Optional[List[RoutingUpdate]] = None
 
     @property
     def hop_count(self) -> int:
@@ -63,3 +81,95 @@ class Packet:
             f"<Packet #{self.packet_id} {self.kind.value} {where} "
             f"{self.size_bits:.0f}b hops={self.hop_count}>"
         )
+
+
+# ----------------------------------------------------------------------
+# Freelist
+# ----------------------------------------------------------------------
+
+#: Network-wide packet id counter (shared by pooled and direct
+#: construction, so ids stay unique and monotonic either way).
+_packet_ids = count()
+
+#: Released packets awaiting reuse.  Bounded: a transient burst (a boot
+#: flood's control backlog) cannot pin an unbounded object graph.
+_POOL: List[Packet] = []
+_POOL_LIMIT = 8192
+
+#: Packets currently sitting in the pool, by id(); guards against the
+#: one bug class freelists introduce -- a double release would otherwise
+#: hand the same object to two owners.
+_pooled_ids: set = set()
+
+_pool_enabled = True
+
+
+def configure_pool(enabled: bool) -> None:
+    """Enable or disable the freelist (A/B verification hook).
+
+    Disabling drops the warm pool; :func:`acquire` then allocates every
+    packet.  Behaviour is identical either way -- that is the point of
+    the knob.
+    """
+    global _pool_enabled
+    _pool_enabled = enabled
+    if not enabled:
+        _POOL.clear()
+        _pooled_ids.clear()
+
+
+def acquire(
+    kind: PacketKind,
+    src: int,
+    dst: Optional[int],
+    size_bits: float,
+    created_s: float,
+    update: Optional[RoutingUpdate] = None,
+) -> Packet:
+    """A fresh packet, recycled from the pool when one is available."""
+    if _POOL:
+        packet = _POOL.pop()
+        _pooled_ids.discard(id(packet))
+        packet.packet_id = next(_packet_ids)
+        packet.kind = kind
+        packet.src = src
+        packet.dst = dst
+        packet.size_bits = size_bits
+        packet.created_s = created_s
+        packet.update = update
+        packet.vector = None
+        packet.enqueued_s = 0.0
+        packet.acks = None
+        # trail was cleared at release; the list object itself is the
+        # recycled asset (append/clear never reallocates a warm list).
+        return packet
+    return Packet(
+        packet_id=next(_packet_ids),
+        kind=kind,
+        src=src,
+        dst=dst,
+        size_bits=size_bits,
+        created_s=created_s,
+        update=update,
+    )
+
+
+def release(packet: Packet) -> None:
+    """Return a dead packet to the pool.
+
+    Callers own the packet at exactly one point (delivery, drop,
+    suppression, flush); releasing twice is a bug and raises.
+    """
+    if not _pool_enabled:
+        return
+    key = id(packet)
+    if key in _pooled_ids:
+        raise RuntimeError(f"double release of {packet!r}")
+    if len(_POOL) >= _POOL_LIMIT:
+        return
+    packet.update = None
+    packet.vector = None
+    packet.acks = None
+    packet.trail.clear()
+    _pooled_ids.add(key)
+    _POOL.append(packet)

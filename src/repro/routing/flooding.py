@@ -85,6 +85,20 @@ class FloodingStats:
     suppressed_wire: int = 0
     #: Window entries discarded to stay under the per-neighbour bound.
     window_evictions: int = 0
+    #: Explicit duplicate-acks skipped because the sender provably did
+    #: not need them (see ``Psn`` duplicate-ack suppression).
+    dup_acks_suppressed: int = 0
+    #: Owed acks paid explicitly after a skip's proof failed (the
+    #: wire-time suppressor cancelled the en-route copy, or the sender
+    #: retransmitted anyway).
+    owed_acks_sent: int = 0
+    #: The subset of owed-ack payments that rode a queued control
+    #: packet's header (piggyback) instead of costing a standalone
+    #: ack packet.
+    owed_acks_piggybacked: int = 0
+    #: Updates retransmitted by the reliability timer (unacked past the
+    #: retransmission period).
+    retransmitted: int = 0
 
 
 class FloodingState:
@@ -123,6 +137,14 @@ class FloodingState:
         self._neighbor_has: Dict[int, Dict[Tuple[int, int], int]] = {}
         #: link id -> {update key -> highest sequence sent that way}.
         self._sent_to: Dict[int, Dict[Tuple[int, int], int]] = {}
+        #: link id -> {update key -> highest sequence the neighbour has
+        #: *explicitly acknowledged*}.  Strictly stronger evidence than
+        #: ``_neighbor_has`` (which a received forward also feeds): an
+        #: entry here proves the neighbour processed our copy, which is
+        #: what duplicate-ack suppression needs -- the update being
+        #: screened would itself plant a ``_neighbor_has`` entry, so
+        #: that table cannot serve as the proof.
+        self._acked_by: Dict[int, Dict[Tuple[int, int], int]] = {}
         self.stats = FloodingStats()
 
     # ------------------------------------------------------------------
@@ -160,6 +182,15 @@ class FloodingState:
         self._highest_seen[update.key()] = update.sequence
         self.stats.accepted += 1
         return True
+
+    def already_seen(self, update: RoutingUpdate) -> bool:
+        """Whether ``update`` would be a duplicate, without recording it.
+
+        A side-effect-free peek at the :meth:`accept` decision, used by
+        duplicate-ack suppression to classify an update *before* the
+        acknowledgement decision (which protocol-wise precedes accept).
+        """
+        return self._highest_seen.get(update.key(), 0) >= update.sequence
 
     def forward_links(
         self,
@@ -248,6 +279,7 @@ class FloodingState:
         if not self.neighbor_windows or link_id is None:
             return
         self._note(self._neighbor_has, link_id, update.key(), update.sequence)
+        self._note(self._acked_by, link_id, update.key(), update.sequence)
 
     def note_sent(self, link_id: int, update: RoutingUpdate) -> None:
         """We queued ``update`` for transmission on ``link_id``."""
@@ -262,6 +294,29 @@ class FloodingState:
         suppresses anything).
         """
         window = self._neighbor_has.get(link_id)
+        if window is None:
+            return 0
+        return window.get(key, 0)
+
+    def neighbor_acked(self, link_id: int, key: Tuple[int, int]) -> int:
+        """Highest sequence the neighbour *explicitly acknowledged*.
+
+        0 when nothing is known.  Unlike :meth:`neighbor_seq` this is
+        never fed by received forwards, so it proves the neighbour
+        processed our copy (a stuck node acks nothing).
+        """
+        window = self._acked_by.get(link_id)
+        if window is None:
+            return 0
+        return window.get(key, 0)
+
+    def sent_seq(self, link_id: int, key: Tuple[int, int]) -> int:
+        """Highest sequence we ever queued toward ``link_id`` for ``key``.
+
+        0 when nothing was sent (or the window entry was evicted --
+        absence of proof never suppresses anything).
+        """
+        window = self._sent_to.get(link_id)
         if window is None:
             return 0
         return window.get(key, 0)

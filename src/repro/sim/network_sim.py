@@ -105,6 +105,17 @@ class ScenarioConfig:
     #: nodes, where duplicate update forwarding dominates event counts;
     #: the paper-sized scenarios keep the classic protocol bit for bit.
     incremental_flooding: Optional[bool] = None
+    #: Duplicate-ack suppression: skip a duplicate update's explicit
+    #: ack when the receiver's own copy is provably en route to the
+    #: sender (its arrival is the implicit ack), with an owed-ack
+    #: fallback when the wire-time suppressor cancels that copy (see
+    #: :class:`~repro.psn.node.Psn`).  ``None`` (auto) follows
+    #: ``incremental_flooding``, whose sequence windows carry the
+    #: proofs: on for large networks, off for the paper-sized golden
+    #: scenarios.  ``True`` requires incremental flooding (explicitly
+    #: or by network size); ``False`` keeps the classic
+    #: always-ack protocol for A/B verification.
+    dup_ack_suppression: Optional[bool] = None
     #: Structured event tracing (see :mod:`repro.obs`): ``None`` (off --
     #: the zero-overhead default, no sink is even allocated), ``"memory"``
     #: (in-memory ring), ``"null"`` (enabled, events discarded), a file
@@ -274,6 +285,14 @@ class NetworkSimulation:
             incremental_flooding = (
                 len(network.nodes) >= LARGE_NETWORK_MIN_NODES
             )
+        dup_ack_suppression = self.config.dup_ack_suppression
+        if dup_ack_suppression is None:
+            dup_ack_suppression = incremental_flooding
+        elif dup_ack_suppression and not incremental_flooding:
+            raise ValueError(
+                "dup_ack_suppression=True requires incremental flooding "
+                "(its sequence windows carry the en-route proofs)"
+            )
         #: Shared update-screening policy (None with defenses off: the
         #: per-update fast path then costs one ``is not None`` check).
         self.defense_policy: Optional[DefensePolicy] = None
@@ -307,6 +326,7 @@ class NetworkSimulation:
                 spf_cache=self.spf_cache,
                 batched_spf=batched_spf,
                 incremental_flooding=incremental_flooding,
+                dup_ack_suppression=dup_ack_suppression,
                 tracer=self.tracer,
                 profiler=self.profiler,
                 defense_policy=self.defense_policy,

@@ -1,0 +1,145 @@
+"""CalendarQueue edge cases.
+
+The calendar queue stages pushes (a pushed entry is only hashed into
+its bucket at the next consultation) and resizes its bucket array as
+the population grows and shrinks.  These tests pin the interplay of
+those two mechanisms -- a staged entry must survive any interleaving of
+``peek_time`` consultations and resizes, in the exact ``(time, seq)``
+total order the heap would give -- and the width recomputation on a
+population whose gaps grow monotonically (the sparse far-future tail
+left behind once a burst drains).
+"""
+
+import random
+
+from repro.des.engine import CalendarQueue
+
+
+def _entry(time, seq):
+    """A scheduler entry shaped like the simulator's call tuples."""
+    return (time, seq, None, ())
+
+
+def _drain_all(queue):
+    out = []
+    while len(queue):
+        out.append(queue.pop())
+    return out
+
+
+def test_staged_pushes_survive_peek_interleaved_with_resize():
+    """Pushes staged around consultations drain in exact total order.
+
+    The first ``peek_time`` drains a population big enough to trigger
+    the expand resize; entries pushed *after* that consultation --
+    including one earlier than everything already bucketed, which must
+    rewind the dequeue cursor -- are drained by the next peek, and the
+    pop sequence is the same sorted order a heap would produce.
+    """
+    queue = CalendarQueue(width=0.01)
+    seq = iter(range(10_000))
+    pushed = []
+
+    # Enough to blow past expand_at (= 2 * MIN_BUCKETS) in one drain.
+    for _ in range(200):
+        entry = _entry(random.Random(42).uniform(1.0, 2.0), next(seq))
+        queue.push(entry)
+        pushed.append(entry)
+    rng = random.Random(7)
+    for _ in range(300):
+        entry = _entry(rng.uniform(1.0, 2.0), next(seq))
+        queue.push(entry)
+        pushed.append(entry)
+
+    assert queue.peek_time() == min(e[0] for e in pushed)
+    assert queue.resizes >= 1, "500 entries must expand 16 initial buckets"
+
+    # Stage more around further consultations: a mid-range batch, then
+    # one entry earlier than the entire bucketed population (cursor
+    # rewind), then a far-future one (beyond the current calendar year).
+    late = [_entry(rng.uniform(1.5, 3.0), next(seq)) for _ in range(50)]
+    for entry in late:
+        queue.push(entry)
+    pushed.extend(late)
+    queue.peek_time()  # drains the batch; resize bookkeeping may run
+    early = _entry(0.25, next(seq))
+    queue.push(early)
+    pushed.append(early)
+    assert queue.peek_time() == 0.25, "staged earlier entry must rewind"
+    far = _entry(500.0, next(seq))
+    queue.push(far)
+    pushed.append(far)
+
+    assert len(queue) == len(pushed)
+    assert _drain_all(queue) == sorted(pushed)
+
+
+def test_staged_push_during_shrink_heavy_pop_sequence():
+    """Interleaving pops (which shrink) with staged pushes loses nothing.
+
+    Popping a large population down forces shrink resizes from inside
+    ``pop``; entries staged between pops must hash into the *new*
+    layout and still come out in global order.
+    """
+    queue = CalendarQueue(width=0.001)
+    rng = random.Random(11)
+    seq = iter(range(10_000))
+    live = [_entry(rng.uniform(0.0, 1.0), next(seq)) for _ in range(600)]
+    for entry in live:
+        queue.push(entry)
+    queue.peek_time()
+    grown = queue._nbuckets
+    assert grown > CalendarQueue.MIN_BUCKETS
+
+    popped = []
+    replenished = 0
+    while len(queue):
+        popped.append(queue.pop())
+        if replenished < 40 and len(popped) % 10 == 0:
+            # Staged while the array is shrinking underneath it; must
+            # never be dropped and must sort after the entries already
+            # popped (pushes land later than the current minimum).
+            entry = _entry(1.0 + replenished * 0.01, next(seq))
+            queue.push(entry)
+            live.append(entry)
+            replenished += 1
+    assert queue.resizes >= 2, "draining 600 entries must shrink"
+    assert queue._nbuckets < grown
+    assert popped == sorted(live)
+
+
+def test_width_recomputes_on_monotonically_sparse_tail():
+    """A sparse, widening tail re-spreads to a proportionally wider width.
+
+    A dense burst plus a tail whose gaps double at every step: while
+    the burst dominates, the width stays tight; once the burst drains
+    and a shrink resize re-samples the survivors, the median-gap rule
+    must pick a width matched to the sparse tail -- wide enough that
+    the forward scan does not crawl bucket-by-bucket through years of
+    empty calendar, which is exactly the regime the ``_find`` fallback
+    (every entry beyond one calendar year) covers.
+    """
+    queue = CalendarQueue(width=0.01)
+    seq = iter(range(10_000))
+    burst = [_entry(i * 0.001, next(seq)) for i in range(500)]
+    tail, when = [], 10.0
+    for step in range(12):
+        tail.append(_entry(when, next(seq)))
+        when += 0.5 * (2 ** step)  # gaps: 0.5, 1, 2, ... 1024 seconds
+    for entry in burst + tail:
+        queue.push(entry)
+
+    drained = []
+    for _ in range(len(burst)):
+        drained.append(queue.pop())
+    assert drained == sorted(burst)
+
+    # The burst is gone; the pops above shrank the bucket array and
+    # re-picked the width from the surviving sparse tail.
+    assert queue.resizes >= 2
+    tight_width = 0.01
+    assert queue._width > tight_width * 10, (
+        f"width {queue._width:g} still sized for the drained burst"
+    )
+    assert _drain_all(queue) == sorted(tail)
+    assert len(queue) == 0

@@ -85,6 +85,15 @@ def test_link_failure_recovery_runs():
 
 
 @pytest.mark.slow
+def test_milnet_sweep_runs():
+    result = run_example("milnet_sweep.py")
+    assert result.returncode == 0, result.stderr
+    assert "runs 3/3 done" in result.stdout
+    assert "duplicate-acks suppressed" in result.stdout
+    assert "all rungs completed" in result.stdout
+
+
+@pytest.mark.slow
 def test_capacity_planning_runs(tmp_path):
     # the script writes capacity_sweep.csv to cwd
     result = run_example("capacity_planning.py", cwd=tmp_path)
